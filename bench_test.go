@@ -1,0 +1,146 @@
+package srccache_test
+
+// The benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation, each regenerating the result at a reduced request
+// budget and reporting the headline virtual-time metric via ReportMetric
+// (wall-clock ns/op measures simulation speed, not storage performance).
+//
+// Full-budget runs with complete tables: go run ./cmd/srcbench -exp all
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"srccache/internal/experiments"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 16, Requests: 120_000}
+}
+
+// tableCell parses the leading float of a table cell ("123.4(1.56)" forms
+// included).
+func tableCell(b *testing.B, tbl *experiments.Table, row, col int) float64 {
+	b.Helper()
+	s := tbl.Rows[row][col]
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		s = s[:i]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+// runExperiment executes the experiment b.N times and returns the last
+// result set.
+func runExperiment(b *testing.B, f func(experiments.Options) ([]*experiments.Table, error)) []*experiments.Table {
+	b.Helper()
+	var tables []*experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tables, err = f(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tables
+}
+
+func BenchmarkTable2WriteBackVsWriteThrough(b *testing.B) {
+	t := runExperiment(b, experiments.Table2)
+	b.ReportMetric(tableCell(b, t[0], 0, 2), "bcacheWB_MB/s")
+	b.ReportMetric(tableCell(b, t[0], 1, 2), "flashcacheWB_MB/s")
+}
+
+func BenchmarkTable3FlushImpact(b *testing.B) {
+	t := runExperiment(b, experiments.Table3)
+	b.ReportMetric(tableCell(b, t[0], 0, 3), "seqReduction_x")
+	b.ReportMetric(tableCell(b, t[0], 1, 3), "randReduction_x")
+}
+
+func BenchmarkFigure1BaselinesOverRAID(b *testing.B) {
+	t := runExperiment(b, experiments.Figure1)
+	b.ReportMetric(tableCell(b, t[0], 0, 4), "bcache5_MB/s")
+	b.ReportMetric(tableCell(b, t[0], 1, 4), "flashcache5_MB/s")
+}
+
+func BenchmarkFigure2EraseGroupExtraction(b *testing.B) {
+	t := runExperiment(b, experiments.Figure2)
+	rows := len(t[0].Rows)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "smallest_ops0_MB/s")
+	b.ReportMetric(tableCell(b, t[0], rows-2, 1), "eraseGroup_ops0_MB/s")
+}
+
+func BenchmarkFigure4EraseGroupSweep(b *testing.B) {
+	t := runExperiment(b, experiments.Figure4)
+	rows := len(t[0].Rows)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "egs2MB_write_MB/s")
+	b.ReportMetric(tableCell(b, t[0], rows-2, 1), "egs256MB_write_MB/s")
+}
+
+func BenchmarkTable8FreeSpaceManagement(b *testing.B) {
+	t := runExperiment(b, experiments.Table8)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "s2dFIFO_write_MB/s")
+	b.ReportMetric(tableCell(b, t[0], 0, 3), "selGCFIFO_write_MB/s")
+}
+
+func BenchmarkFigure5UMaxSweep(b *testing.B) {
+	t := runExperiment(b, experiments.Figure5)
+	rows := len(t[0].Rows)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "umax30_write_MB/s")
+	b.ReportMetric(tableCell(b, t[0], rows-2, 1), "umax90_write_MB/s")
+}
+
+func BenchmarkTable9ParityMode(b *testing.B) {
+	t := runExperiment(b, experiments.Table9)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "pc_write_MB/s")
+	b.ReportMetric(tableCell(b, t[0], 0, 2), "npc_write_MB/s")
+}
+
+func BenchmarkTable10RAIDLevel(b *testing.B) {
+	t := runExperiment(b, experiments.Table10)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "raid0_write_MB/s")
+	b.ReportMetric(tableCell(b, t[0], 0, 3), "raid5_write_MB/s")
+}
+
+func BenchmarkTable11FlushCadence(b *testing.B) {
+	t := runExperiment(b, experiments.Table11)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "perSegment_write_MB/s")
+	b.ReportMetric(tableCell(b, t[0], 0, 2), "perSG_write_MB/s")
+}
+
+func BenchmarkFigure6CostEffectiveness(b *testing.B) {
+	t := runExperiment(b, experiments.Figure6)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "aMLC_write_MB/s")
+	b.ReportMetric(tableCell(b, t[2], 3, 1), "bTLC_write_MBps_per_usd")
+	b.ReportMetric(tableCell(b, t[3], 0, 1), "aMLC_lifetimeDays_per_usd")
+}
+
+func BenchmarkFigure7HeadToHead(b *testing.B) {
+	t := runExperiment(b, experiments.Figure7)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "src_write_MB/s")
+	b.ReportMetric(tableCell(b, t[0], 2, 1), "bcache5_write_MB/s")
+	b.ReportMetric(tableCell(b, t[0], 3, 1), "flashcache5_write_MB/s")
+	b.ReportMetric(tableCell(b, t[2], 0, 1), "src_write_hitRatio")
+}
+
+func BenchmarkAblationVictimPolicies(b *testing.B) {
+	t := runExperiment(b, experiments.AblationVictim)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "fifo_write_MB/s")
+	b.ReportMetric(tableCell(b, t[0], 0, 3), "costBenefit_write_MB/s")
+}
+
+func BenchmarkAblationGCSplit(b *testing.B) {
+	t := runExperiment(b, experiments.AblationGCSplit)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "mixedBuffer_write_MB/s")
+	b.ReportMetric(tableCell(b, t[0], 0, 2), "separateGCBuffer_write_MB/s")
+}
+
+func BenchmarkAblationSegmentSize(b *testing.B) {
+	t := runExperiment(b, experiments.AblationSegmentSize)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "seg512KB_write_MB/s")
+	b.ReportMetric(tableCell(b, t[0], 1, 1), "seg2MB_write_MB/s")
+}

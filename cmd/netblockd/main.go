@@ -1,0 +1,61 @@
+// Command netblockd serves an in-memory volume over the netblock protocol
+// — the repository's miniature iSCSI-target stand-in, used by the netstore
+// example and usable as a shared scratch block device.
+//
+// Usage:
+//
+//	netblockd -addr 127.0.0.1:8700 -size 268435456
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+
+	"srccache/internal/netblock"
+)
+
+func main() {
+	stop := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		close(stop)
+	}()
+	if err := run(os.Args[1:], os.Stdout, stop, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "netblockd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until stop closes; the bound address is sent on ready (if
+// non-nil) once listening.
+func run(args []string, stdout io.Writer, stop <-chan struct{}, ready chan<- net.Addr) error {
+	fs := flag.NewFlagSet("netblockd", flag.ContinueOnError)
+	var (
+		addr = fs.String("addr", "127.0.0.1:8700", "listen address")
+		size = fs.Int64("size", 256<<20, "volume size in bytes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := netblock.NewServer(*size)
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "netblockd: serving %d bytes on %s\n", *size, bound)
+	if ready != nil {
+		ready <- bound
+	}
+	<-stop
+	fmt.Fprintln(stdout, "netblockd: shutting down")
+	return srv.Close()
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"srccache/internal/netblock"
+)
+
+func TestServeAndShutdown(t *testing.T) {
+	var out bytes.Buffer
+	stop := make(chan struct{})
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-size", "1048576"}, &out, stop, ready)
+	}()
+	addr := <-ready
+
+	cli, err := netblock.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cli.Size() != 1<<20 {
+		t.Fatalf("size %d", cli.Size())
+	}
+	if _, err := cli.WriteAt([]byte("daemon"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 6)
+	if _, err := cli.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "daemon" {
+		t.Fatalf("read %q", got)
+	}
+	cli.Close()
+
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "serving") || !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-size", "0"}, &out, nil, nil); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	if err := run([]string{"-bogus"}, &out, nil, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-addr", "999.999.999.999:99999"}, &out, nil, nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

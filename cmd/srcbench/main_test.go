@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+var osReadFile = os.ReadFile
+
+func TestListPrintsRegistry(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table2", "fig7", "ablation-degraded"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("listing missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "table3", "-scale", "16", "-requests", "20000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 3") || !strings.Contains(out.String(), "Sequential") {
+		t.Fatalf("missing table output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunWritesOutputFile(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	path := dir + "/res.txt"
+	if err := run([]string{"-exp", "table12", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 12") {
+		t.Fatal("stdout missing table")
+	}
+	// The file mirrors stdout.
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(data, "Table 12") {
+		t.Fatal("output file missing table")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+// readFile is a tiny helper avoiding an os import dance in assertions.
+func readFile(path string) (string, error) {
+	data, err := osReadFile(path)
+	return string(data), err
+}

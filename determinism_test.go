@@ -1,0 +1,91 @@
+package srccache_test
+
+import (
+	"testing"
+
+	"srccache"
+	"srccache/internal/experiments"
+)
+
+// The simulation's core guarantee: identical configuration and seed produce
+// bit-identical results — every number in EXPERIMENTS.md is exactly
+// reproducible.
+
+func TestExperimentDeterminism(t *testing.T) {
+	opts := experiments.Options{Scale: 16, Requests: 30_000, Seed: 5}
+	run := func() [][]string {
+		tables, err := experiments.Figure7(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rows [][]string
+		for _, tbl := range tables {
+			rows = append(rows, tbl.Rows...)
+		}
+		return rows
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("row %d col %d: %q != %q", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestSystemDeterminism(t *testing.T) {
+	run := func() (float64, srccache.CacheCounters) {
+		sys, err := srccache.NewSystem(srccache.SystemConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := srccache.NewWorkload(srccache.WorkloadConfig{
+			Span: 256 << 20, ReadFraction: 0.4, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := srccache.RunBench(sys.Cache, []srccache.WorkloadSource{gen},
+			srccache.BenchOptions{Slots: 32, MaxRequests: 20_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MBps(), sys.Cache.Counters()
+	}
+	mbps1, ctr1 := run()
+	mbps2, ctr2 := run()
+	if mbps1 != mbps2 {
+		t.Fatalf("throughput differs across identical runs: %v vs %v", mbps1, mbps2)
+	}
+	if ctr1 != ctr2 {
+		t.Fatalf("counters differ: %+v vs %+v", ctr1, ctr2)
+	}
+}
+
+func TestSeedChangesResults(t *testing.T) {
+	run := func(seed int64) int64 {
+		sys, err := srccache.NewSystem(srccache.SystemConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := srccache.NewWorkload(srccache.WorkloadConfig{
+			Span: 256 << 20, ReadFraction: 0.4, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := srccache.RunBench(sys.Cache, []srccache.WorkloadSource{gen},
+			srccache.BenchOptions{Slots: 32, MaxRequests: 5_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(res.Makespan())
+	}
+	if run(1) == run(2) {
+		t.Fatal("different seeds produced identical makespans")
+	}
+}

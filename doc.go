@@ -1,0 +1,37 @@
+// Package srccache is a full reproduction of "Enabling Cost-Effective
+// Flash based Caching with an Array of Commodity SSDs" (Oh et al., ACM
+// Middleware 2015): SRC — SSD RAID as a Cache — a write-back,
+// log-structured, RAID-protected block cache over an array of commodity
+// SSDs, together with every substrate the paper's evaluation needs, built
+// in pure Go on a deterministic virtual-time storage simulation.
+//
+// The package re-exports the user-facing surface of the internal
+// implementation:
+//
+//   - the SRC cache itself (Cache, CacheConfig) with the paper's full
+//     design space: Sel-GC vs S2D reclamation, FIFO/Greedy victims, PC/NPC
+//     clean-data parity, RAID-0/4/5 striping, per-segment or
+//     per-segment-group flushing, crash recovery, degraded reads and
+//     drive rebuild;
+//   - simulated devices: flash-based SSDs with a hybrid FTL (NewSSD),
+//     rotating disks, and an HDD-RAID-10-over-network primary store
+//     (NewPrimary);
+//   - workload machinery: FIO-like generators, MSR-style trace synthesis
+//     and replay, and a closed-loop virtual-time benchmark runner;
+//   - the paper's experiment suite (internal/experiments, driven by
+//     cmd/srcbench) regenerating every table and figure.
+//
+// # Quickstart
+//
+// Build a 4-drive array backed by networked primary storage and push I/O
+// through the cache:
+//
+//	sys, err := srccache.NewSystem(srccache.SystemConfig{})
+//	if err != nil { ... }
+//	done, err := sys.Cache.Submit(0, srccache.Request{
+//		Op: srccache.OpWrite, Off: 0, Len: 4096,
+//	})
+//
+// See examples/ for runnable scenarios, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the paper-versus-measured record.
+package srccache

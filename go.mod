@@ -1,0 +1,3 @@
+module srccache
+
+go 1.22

@@ -1,0 +1,284 @@
+package bcachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+const (
+	cacheCap    = 8 << 20
+	primCap     = 64 << 20
+	bucketBytes = 64 << 10
+)
+
+type env struct {
+	cache *Cache
+	dev   *blockdev.MemDevice
+	prim  *blockdev.MemDevice
+	at    vtime.Time
+	t     *testing.T
+}
+
+func newEnv(t *testing.T, mutate func(*Config)) *env {
+	t.Helper()
+	dev := blockdev.NewMemDevice(cacheCap, 10*vtime.Microsecond)
+	prim := blockdev.NewMemDevice(primCap, vtime.Millisecond)
+	// BatchWindow of 1 ns keeps sequential unit tests deterministic (every
+	// non-concurrent commit is separate); the group-commit test builds its
+	// own cache with the default window.
+	cfg := Config{Cache: dev, Primary: prim, BucketBytes: bucketBytes, WritebackPercent: 90, BatchWindow: 1}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{cache: c, dev: dev, prim: prim, t: t}
+}
+
+func (e *env) submit(op blockdev.Op, lba, pages int64) vtime.Duration {
+	e.t.Helper()
+	done, err := e.cache.Submit(e.at, blockdev.Request{Op: op, Off: lba * blockdev.PageSize, Len: pages * blockdev.PageSize})
+	if err != nil {
+		e.t.Fatalf("%v lba %d: %v", op, lba, err)
+	}
+	lat := done.Sub(e.at)
+	e.at = vtime.Max(e.at, done)
+	return lat
+}
+
+func TestValidation(t *testing.T) {
+	dev := blockdev.NewMemDevice(cacheCap, 0)
+	prim := blockdev.NewMemDevice(primCap, 0)
+	if _, err := New(Config{Primary: prim}); err == nil {
+		t.Fatal("accepted missing cache")
+	}
+	if _, err := New(Config{Cache: dev, Primary: prim, BucketBytes: 100}); err == nil {
+		t.Fatal("accepted unaligned bucket")
+	}
+	if _, err := New(Config{Cache: dev, Primary: prim, BucketBytes: 1 << 20, JournalBuckets: 8}); err == nil {
+		t.Fatal("accepted journal eating the cache")
+	}
+	big := blockdev.NewMemDevice(64<<20, 0)
+	c, err := New(Config{Cache: big, Primary: prim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config().BucketBytes != 2<<20 || c.Config().WritebackPercent != 10 {
+		t.Fatalf("defaults %+v", c.Config())
+	}
+}
+
+func TestEveryWriteJournalsWithFlush(t *testing.T) {
+	e := newEnv(t, nil)
+	e.submit(blockdev.OpWrite, 5, 1)
+	if e.dev.Stats().Flushes != 1 {
+		t.Fatalf("flushes %d, Bcache flushes per journal commit", e.dev.Stats().Flushes)
+	}
+	// Data rides in the merged pending run until MergeBytes accumulate;
+	// the journal commit is what hits the device immediately.
+	if e.dev.Stats().WriteOps != 0 {
+		t.Fatalf("cache data writes %d, expected data still merging", e.dev.Stats().WriteOps)
+	}
+	// Sequential (non-overlapping) writes each commit separately.
+	e.submit(blockdev.OpWrite, 6, 1)
+	if e.dev.Stats().Flushes != 2 {
+		t.Fatal("second write did not flush")
+	}
+	if e.cache.Counters().SSDFlushes != 2 {
+		t.Fatalf("counters %+v", e.cache.Counters())
+	}
+}
+
+// flushCostDevice wraps MemDevice with an expensive flush, so commit
+// batching is observable.
+type flushCostDevice struct {
+	*blockdev.MemDevice
+	cost vtime.Duration
+}
+
+func (d *flushCostDevice) Flush(at vtime.Time) (vtime.Time, error) {
+	done, err := d.MemDevice.Flush(at)
+	return done.Add(d.cost), err
+}
+
+func TestJournalGroupCommitBatchesConcurrentWrites(t *testing.T) {
+	dev := &flushCostDevice{
+		MemDevice: blockdev.NewMemDevice(cacheCap, 10*vtime.Microsecond),
+		cost:      2 * vtime.Millisecond,
+	}
+	prim := blockdev.NewMemDevice(primCap, vtime.Millisecond)
+	c, err := New(Config{Cache: dev, Primary: prim, BucketBytes: bucketBytes, WritebackPercent: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config().BatchWindow != vtime.Millisecond {
+		t.Fatalf("default batch window %v", c.Config().BatchWindow)
+	}
+	// First write opens a commit window; writes whose data lands before
+	// the window's issue point (the previous commit's completion) share
+	// one flush.
+	done1, err := c.Submit(0, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: blockdev.PageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushesAfterFirst := dev.Stats().Flushes
+	for i := int64(2); i < 10; i++ {
+		if _, err := c.Submit(0, blockdev.Request{Op: blockdev.OpWrite, Off: i * blockdev.PageSize, Len: blockdev.PageSize}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	extra := dev.Stats().Flushes - flushesAfterFirst
+	if extra > 2 {
+		t.Fatalf("8 concurrent writes issued %d extra flushes, want group commit", extra)
+	}
+	if done1 < vtime.Time(2*vtime.Millisecond) {
+		t.Fatalf("commit done at %v, cheaper than the flush cost", done1)
+	}
+}
+
+func TestWritesAppendSequentiallyIntoBucket(t *testing.T) {
+	e := newEnv(t, nil)
+	rng := rand.New(rand.NewSource(1))
+	// Random LBAs still land sequentially in the open bucket.
+	var offs []int64
+	for i := 0; i < 8; i++ {
+		lba := rng.Int63n(4096)
+		e.submit(blockdev.OpWrite, lba, 1)
+		bl := e.cache.index[lba]
+		offs = append(offs, bl.off)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] != offs[i-1]+blockdev.PageSize {
+			t.Fatalf("appends not sequential: %v", offs)
+		}
+	}
+}
+
+func TestOverwriteInvalidatesOldCopy(t *testing.T) {
+	e := newEnv(t, nil)
+	e.submit(blockdev.OpWrite, 5, 1)
+	first := e.cache.index[5].off
+	e.submit(blockdev.OpWrite, 5, 1)
+	second := e.cache.index[5].off
+	if first == second {
+		t.Fatal("log-structured cache overwrote in place")
+	}
+	if e.cache.DirtyPages() != 1 {
+		t.Fatalf("dirty pages %d after overwrite", e.cache.DirtyPages())
+	}
+}
+
+func TestReadMissInsertsCleanWithoutJournal(t *testing.T) {
+	e := newEnv(t, nil)
+	flushes := e.dev.Stats().Flushes
+	if lat := e.submit(blockdev.OpRead, 9, 1); lat < vtime.Millisecond {
+		t.Fatalf("miss latency %v", lat)
+	}
+	if e.dev.Stats().Flushes != flushes {
+		t.Fatal("clean insert journaled")
+	}
+	if lat := e.submit(blockdev.OpRead, 9, 1); lat >= vtime.Millisecond {
+		t.Fatalf("hit latency %v", lat)
+	}
+	if e.cache.Counters().ReadHits != 1 {
+		t.Fatalf("counters %+v", e.cache.Counters())
+	}
+}
+
+func TestBucketReclaimDestagesDirty(t *testing.T) {
+	e := newEnv(t, nil)
+	pages := e.cache.capacityPages()
+	// Fill the whole cache with dirty data and keep writing: reclaim must
+	// destage.
+	for lba := int64(0); lba < pages+e.cache.bucketPages; lba++ {
+		e.submit(blockdev.OpWrite, lba, 1)
+	}
+	if e.cache.Counters().DestageBytes == 0 {
+		t.Fatal("reclaim never destaged")
+	}
+	if e.prim.Stats().WriteOps == 0 {
+		t.Fatal("primary saw no destage")
+	}
+}
+
+func TestWritebackPercentDestagesEagerly(t *testing.T) {
+	e := newEnv(t, func(c *Config) { c.WritebackPercent = 5 })
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		e.submit(blockdev.OpWrite, rng.Int63n(8192), 1)
+	}
+	limit := int64(float64(e.cache.capacityPages()) * 0.05)
+	if e.cache.DirtyPages() > limit+1 {
+		t.Fatalf("dirty pages %d above writeback_percent limit %d", e.cache.DirtyPages(), limit)
+	}
+}
+
+func TestFlushJournalsAndFlushes(t *testing.T) {
+	e := newEnv(t, nil)
+	flushes := e.dev.Stats().Flushes
+	if _, err := e.cache.Flush(e.at); err != nil {
+		t.Fatal(err)
+	}
+	if e.dev.Stats().Flushes != flushes+1 {
+		t.Fatal("Flush did not flush the device")
+	}
+}
+
+func TestWriteThroughSlower(t *testing.T) {
+	run := func(mode WriteMode) vtime.Time {
+		e := newEnv(t, func(c *Config) { c.Mode = mode })
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 300; i++ {
+			e.submit(blockdev.OpWrite, rng.Int63n(1024), 1)
+		}
+		return e.at
+	}
+	wb, wt := run(WriteBack), run(WriteThrough)
+	if !(wt > wb) {
+		t.Fatalf("write-through (%v) not slower than write-back (%v)", wt, wb)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if WriteBack.String() != "write-back" || WriteThrough.String() != "write-through" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	dev := blockdev.NewMemDevice(cacheCap, 0)
+	prim := blockdev.NewMemDevice(primCap, 0)
+	if _, err := New(Config{Cache: dev, Primary: prim, BucketBytes: bucketBytes, MergeBytes: 100}); err == nil {
+		t.Fatal("unaligned merge size accepted")
+	}
+	if _, err := New(Config{Cache: dev, Primary: prim, BucketBytes: bucketBytes, BatchWindow: -1}); err == nil {
+		t.Fatal("negative batch window accepted")
+	}
+}
+
+func TestPendingRunServesReadsFromMemory(t *testing.T) {
+	e := newEnv(t, func(c *Config) { c.MergeBytes = 64 << 10 })
+	e.submit(blockdev.OpWrite, 5, 1)
+	reads := e.dev.Stats().ReadOps
+	// The data is still in the merged pending run: a read hit costs no
+	// device read.
+	if lat := e.submit(blockdev.OpRead, 5, 1); lat != 0 {
+		t.Fatalf("pending-run read latency %v", lat)
+	}
+	if e.dev.Stats().ReadOps != reads {
+		t.Fatal("pending-run read touched the device")
+	}
+}
+
+func TestTrimForwarded(t *testing.T) {
+	e := newEnv(t, nil)
+	e.submit(blockdev.OpTrim, 0, 4)
+	if e.prim.Stats().TrimOps != 1 {
+		t.Fatal("trim not forwarded to primary")
+	}
+}

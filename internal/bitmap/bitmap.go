@@ -1,0 +1,60 @@
+// Package bitmap provides a dense bitset. SRC uses one bit per cache page
+// to track data hotness (paper §4.2: "Hotness of data is determined by a
+// per-page based bitmap stored in RAM").
+package bitmap
+
+// Bitmap is a fixed-size bitset.
+type Bitmap struct {
+	words []uint64
+	n     int64
+	set   int64
+}
+
+// New creates a bitmap of n bits, all clear.
+func New(n int64) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len reports the number of bits.
+func (b *Bitmap) Len() int64 { return b.n }
+
+// PopCount reports the number of set bits.
+func (b *Bitmap) PopCount() int64 { return b.set }
+
+// Get reports bit i. Out-of-range indices read as false.
+func (b *Bitmap) Get(i int64) bool {
+	if i < 0 || i >= b.n {
+		return false
+	}
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Set sets bit i. Out-of-range indices are ignored.
+func (b *Bitmap) Set(i int64) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	w, m := i>>6, uint64(1)<<uint(i&63)
+	if b.words[w]&m == 0 {
+		b.words[w] |= m
+		b.set++
+	}
+}
+
+// Clear clears bit i. Out-of-range indices are ignored.
+func (b *Bitmap) Clear(i int64) {
+	if i < 0 || i >= b.n {
+		return
+	}
+	w, m := i>>6, uint64(1)<<uint(i&63)
+	if b.words[w]&m != 0 {
+		b.words[w] &^= m
+		b.set--
+	}
+}
+
+// Reset clears every bit.
+func (b *Bitmap) Reset() {
+	clear(b.words)
+	b.set = 0
+}

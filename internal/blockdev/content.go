@@ -1,0 +1,189 @@
+package blockdev
+
+import "fmt"
+
+// Content models what a device durably stores, independent of timing. Pages
+// are addressed by index (byte offset / PageSize). Each page holds a Tag;
+// pages that carry real serialized metadata (the SRC segment summaries) may
+// additionally hold a blob of bytes.
+//
+// Writes land in a volatile region first. FlushContent commits everything
+// written so far; Crash discards the volatile region, reverting each dirty
+// page to its last committed value — the simulation's model of a power
+// failure with a volatile device write cache.
+type Content struct {
+	pages int64
+
+	tags  map[int64]Tag
+	blobs map[int64][]byte
+
+	// shadow* hold the committed value of pages dirtied since the last
+	// flush, so Crash can revert them. A missing entry with presence in
+	// dirty means the page was previously unwritten.
+	shadowTags  map[int64]Tag
+	shadowBlobs map[int64][]byte
+	dirty       map[int64]struct{}
+
+	corrupted map[int64]struct{}
+}
+
+// NewContent creates a content store for a device with the given capacity in
+// bytes.
+func NewContent(capacity int64) *Content {
+	return &Content{
+		pages:       capacity / PageSize,
+		tags:        make(map[int64]Tag),
+		blobs:       make(map[int64][]byte),
+		shadowTags:  make(map[int64]Tag),
+		shadowBlobs: make(map[int64][]byte),
+		dirty:       make(map[int64]struct{}),
+		corrupted:   make(map[int64]struct{}),
+	}
+}
+
+// Pages reports the number of pages the store covers.
+func (c *Content) Pages() int64 { return c.pages }
+
+func (c *Content) check(page int64) error {
+	if page < 0 || page >= c.pages {
+		return fmt.Errorf("%w: page %d of %d", ErrOutOfRange, page, c.pages)
+	}
+	return nil
+}
+
+// remember snapshots the committed state of page before its first
+// modification since the last flush.
+func (c *Content) remember(page int64) {
+	if _, ok := c.dirty[page]; ok {
+		return
+	}
+	c.dirty[page] = struct{}{}
+	if t, ok := c.tags[page]; ok {
+		c.shadowTags[page] = t
+	}
+	if b, ok := c.blobs[page]; ok {
+		c.shadowBlobs[page] = b
+	}
+}
+
+// WriteTag records the tag for a page (volatile until FlushContent).
+func (c *Content) WriteTag(page int64, t Tag) error {
+	if err := c.check(page); err != nil {
+		return err
+	}
+	c.remember(page)
+	delete(c.corrupted, page)
+	if t.IsZero() {
+		delete(c.tags, page)
+	} else {
+		c.tags[page] = t
+	}
+	delete(c.blobs, page)
+	return nil
+}
+
+// WriteBlob records serialized metadata bytes for a page (volatile until
+// FlushContent). The blob is copied.
+func (c *Content) WriteBlob(page int64, b []byte) error {
+	if err := c.check(page); err != nil {
+		return err
+	}
+	if int64(len(b)) > PageSize {
+		return fmt.Errorf("%w: blob of %d bytes exceeds page size", ErrBadRequest, len(b))
+	}
+	c.remember(page)
+	delete(c.corrupted, page)
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	c.blobs[page] = cp
+	delete(c.tags, page)
+	return nil
+}
+
+// ReadTag returns the tag stored at page. Corrupted pages return a perturbed
+// tag, modelling silent data corruption the checksum layer must catch.
+func (c *Content) ReadTag(page int64) (Tag, error) {
+	if err := c.check(page); err != nil {
+		return ZeroTag, err
+	}
+	t := c.tags[page]
+	if _, bad := c.corrupted[page]; bad {
+		t.Lo ^= 0xdeadbeef
+		t.Hi ^= 1
+	}
+	return t, nil
+}
+
+// ReadBlob returns the metadata blob stored at page, or nil if the page
+// holds no blob. Corrupted blobs have their first byte flipped.
+func (c *Content) ReadBlob(page int64) ([]byte, error) {
+	if err := c.check(page); err != nil {
+		return nil, err
+	}
+	b, ok := c.blobs[page]
+	if !ok {
+		return nil, nil
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	if _, bad := c.corrupted[page]; bad && len(cp) > 0 {
+		cp[0] ^= 0xff
+	}
+	return cp, nil
+}
+
+// Trim erases a range of pages (volatile until FlushContent).
+func (c *Content) Trim(page, count int64) error {
+	if err := c.check(page); err != nil {
+		return err
+	}
+	if count < 0 || page+count > c.pages {
+		return fmt.Errorf("%w: trim [%d,%d)", ErrOutOfRange, page, page+count)
+	}
+	for p := page; p < page+count; p++ {
+		c.remember(p)
+		delete(c.tags, p)
+		delete(c.blobs, p)
+		delete(c.corrupted, p)
+	}
+	return nil
+}
+
+// FlushContent commits all volatile writes; after it returns, Crash no
+// longer reverts them.
+func (c *Content) FlushContent() {
+	clear(c.dirty)
+	clear(c.shadowTags)
+	clear(c.shadowBlobs)
+}
+
+// Crash discards all volatile writes, reverting dirtied pages to their last
+// committed contents. It models power failure with a volatile write cache.
+func (c *Content) Crash() {
+	for page := range c.dirty {
+		if t, ok := c.shadowTags[page]; ok {
+			c.tags[page] = t
+		} else {
+			delete(c.tags, page)
+		}
+		if b, ok := c.shadowBlobs[page]; ok {
+			c.blobs[page] = b
+		} else {
+			delete(c.blobs, page)
+		}
+	}
+	c.FlushContent()
+}
+
+// Corrupt marks a page as silently corrupted: subsequent reads return
+// perturbed content until the page is rewritten or trimmed.
+func (c *Content) Corrupt(page int64) error {
+	if err := c.check(page); err != nil {
+		return err
+	}
+	c.corrupted[page] = struct{}{}
+	return nil
+}
+
+// DirtyPages reports how many pages have uncommitted writes.
+func (c *Content) DirtyPages() int { return len(c.dirty) }

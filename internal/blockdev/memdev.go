@@ -1,0 +1,63 @@
+package blockdev
+
+import "srccache/internal/vtime"
+
+// MemDevice is a minimal Device with a fixed per-operation latency and a
+// single FIFO service queue. It exists for tests and as the simplest
+// substrate on which the cache layers can be exercised without the full SSD
+// or HDD models.
+type MemDevice struct {
+	capacity int64
+	latency  vtime.Duration
+
+	busy    vtime.Time
+	stats   Stats
+	content *Content
+}
+
+var _ Device = (*MemDevice)(nil)
+
+// NewMemDevice creates a MemDevice of the given capacity whose every
+// operation takes latency.
+func NewMemDevice(capacity int64, latency vtime.Duration) *MemDevice {
+	return &MemDevice{
+		capacity: capacity,
+		latency:  latency,
+		content:  NewContent(capacity),
+	}
+}
+
+// Submit serves the request after any earlier work completes.
+func (d *MemDevice) Submit(at vtime.Time, req Request) (vtime.Time, error) {
+	if err := req.Validate(d.capacity); err != nil {
+		return at, err
+	}
+	d.stats.Record(req)
+	if req.Op == OpTrim {
+		if err := d.content.Trim(req.Off/PageSize, req.Pages()); err != nil {
+			return at, err
+		}
+		return vtime.Max(at, d.busy), nil
+	}
+	start := vtime.Max(at, d.busy)
+	done := start.Add(d.latency)
+	d.busy = done
+	return done, nil
+}
+
+// Flush completes once all prior operations have drained and commits
+// content.
+func (d *MemDevice) Flush(at vtime.Time) (vtime.Time, error) {
+	d.stats.Flushes++
+	d.content.FlushContent()
+	return vtime.Max(at, d.busy), nil
+}
+
+// Capacity reports the device size in bytes.
+func (d *MemDevice) Capacity() int64 { return d.capacity }
+
+// Stats reports accumulated counters.
+func (d *MemDevice) Stats() *Stats { return &d.stats }
+
+// Content exposes the content store.
+func (d *MemDevice) Content() *Content { return d.content }

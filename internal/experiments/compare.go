@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"srccache/internal/bench"
+	"srccache/internal/blockdev"
+	"srccache/internal/raid"
+	"srccache/internal/src"
+)
+
+// Section 5.4: SRC vs the existing solutions deployed over RAID-5
+// ("Bcache5" / "Flashcache5").
+
+// Figure7 compares SRC (defaults), SRC-S2D, Bcache5, and Flashcache5 on the
+// three trace groups: throughput, I/O amplification, and hit ratio.
+func Figure7(opts Options) ([]*Table, error) {
+	o := opts.normalize()
+	systems := []struct {
+		name  string
+		build func(span int64) (bench.Cache, error)
+	}{
+		{"SRC", func(span int64) (bench.Cache, error) {
+			return buildSRC(o, span, nil)
+		}},
+		{"SRC-S2D", func(span int64) (bench.Cache, error) {
+			return buildSRC(o, span, func(c *src.Config) { c.GC = src.S2D })
+		}},
+		{"Bcache5", func(span int64) (bench.Cache, error) {
+			arr, ssds, err := buildRAIDVolume(o, raid.Level5, blockdev.PageSize)
+			if err != nil {
+				return nil, err
+			}
+			return buildBaseline(kindBcache, arr, ssds, span, true)
+		}},
+		{"Flashcache5", func(span int64) (bench.Cache, error) {
+			arr, ssds, err := buildRAIDVolume(o, raid.Level5, blockdev.PageSize)
+			if err != nil {
+				return nil, err
+			}
+			return buildBaseline(kindFlashcache, arr, ssds, span, true)
+		}},
+	}
+
+	mk := func(id, title string) *Table {
+		t := &Table{ID: id, Title: title, Columns: []string{"System"}}
+		t.Columns = append(t.Columns, groupNames()...)
+		return t
+	}
+	tp := mk("Figure 7(a)", "Throughput (MB/s)")
+	tp.Notes = []string{
+		"paper: SRC beats Bcache5 by 2.8-3.1x and Flashcache5 by 2.3-2.8x;",
+		"SRC > SRC-S2D; Bcache5 worst (flush per journal write)",
+	}
+	amp := mk("Figure 7(b)", "I/O amplification")
+	amp.Notes = []string{"paper: SRC amplifies more than SRC-S2D (Sel-GC copies hot data)"}
+	hit := mk("Figure 7(c)", "Hit ratio")
+	hit.Notes = []string{"paper: Sel-GC's hit ratio exceeds S2D's"}
+
+	for _, sys := range systems {
+		rowT := []string{sys.name}
+		rowA := []string{sys.name}
+		rowH := []string{sys.name}
+		for _, g := range groupNames() {
+			span, err := groupSpan(g, o)
+			if err != nil {
+				return nil, err
+			}
+			cache, err := sys.build(span)
+			if err != nil {
+				return nil, fmt.Errorf("figure 7 %s: %w", sys.name, err)
+			}
+			run, err := runGroup(cache, g, o)
+			if err != nil {
+				return nil, fmt.Errorf("figure 7 %s %s: %w", sys.name, g, err)
+			}
+			rowT = append(rowT, f1(run.MBps))
+			rowA = append(rowA, f2(run.IOAmp))
+			rowH = append(rowH, f2(run.HitRatio))
+		}
+		tp.Rows = append(tp.Rows, rowT)
+		amp.Rows = append(amp.Rows, rowA)
+		hit.Rows = append(hit.Rows, rowH)
+	}
+	return []*Table{tp, amp, hit}, nil
+}

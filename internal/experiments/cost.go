@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/costmodel"
+	"srccache/internal/src"
+	"srccache/internal/ssd"
+)
+
+// Section 5.3: cost-effectiveness.
+
+// Table12 renders the device-economics data (Tables 4 and 12).
+func Table12(Options) ([]*Table, error) {
+	t4 := &Table{
+		ID:      "Table 4",
+		Title:   "Comparison of storage devices (manufacturer specifications)",
+		Columns: []string{"Family", "Interface", "Capacity (GB)", "Price ($)", "SR (MB/s)", "SW (MB/s)", "RR (KIOPS)", "RW (KIOPS)"},
+	}
+	for _, d := range costmodel.Table4() {
+		t4.Rows = append(t4.Rows, []string{
+			d.Family, d.Iface.String(),
+			fmt.Sprintf("%d", d.CapacityGB), fmt.Sprintf("%.0f", d.PriceUSD),
+			fmt.Sprintf("%d", d.SeqReadMB), fmt.Sprintf("%d", d.SeqWriteMB),
+			fmt.Sprintf("%d", d.RandReadK), fmt.Sprintf("%d", d.RandWriteK),
+		})
+	}
+	t12 := &Table{
+		ID:      "Table 12",
+		Title:   "SATA and NVMe SSD configurations",
+		Columns: []string{"Product", "Interface", "NAND", "Endurance", "Capacity", "Cost ($)", "GB/$", "Year"},
+	}
+	for _, p := range costmodel.Catalog() {
+		t12.Rows = append(t12.Rows, []string{
+			p.Label, p.Iface.String(), p.Cell.String(),
+			fmt.Sprintf("%dK", p.Endurance/1000),
+			fmt.Sprintf("%dx%dGB", p.Units, p.UnitGB),
+			fmt.Sprintf("%.0f", p.PriceUSD),
+			f2(p.GBPerDollar()),
+			fmt.Sprintf("%d", p.Year),
+		})
+	}
+	return []*Table{t4, t12}, nil
+}
+
+// productCache assembles an SRC cache for one Table 12 product: RAID-5 over
+// the four SATA drives, or a single parityless NVMe drive.
+func productCache(o Options, p costmodel.Product, span int64) (*src.Cache, error) {
+	// Per-drive cache region scaled in proportion to the product's real
+	// capacity, rounded to erase groups.
+	region := o.cachePerSSD() * int64(p.UnitGB) / 128
+	region -= region % o.superblock()
+	devs := make([]blockdev.Device, p.Units)
+	for i := range devs {
+		cfg := p.DeviceConfig(fmt.Sprintf("%s-%d", p.Label, i), region)
+		cfg.EraseGroupSize = o.superblock()
+		cfg.WriteCacheBytes = 64 << 20 / o.Scale
+		d, err := ssd.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		devs[i] = d
+	}
+	prim, err := newPrimary(span)
+	if err != nil {
+		return nil, err
+	}
+	cfg := src.Config{
+		SSDs:           devs,
+		Primary:        prim,
+		EraseGroupSize: o.superblock(),
+		SegmentColumn:  o.segColumn(),
+	}
+	if p.Units == 1 {
+		cfg.Level = src.RAID0 // single high-end drive: no parity (paper §5.3)
+		// The paper's segment is 2 MB in total; with one drive the whole
+		// segment is a single column.
+		cfg.SegmentColumn = o.segColumn() * 4
+	}
+	return src.New(cfg)
+}
+
+// Figure6 runs the cost-effectiveness study: throughput, MB/s per dollar,
+// lifetime days (512 GB/day, measured WAF), and lifetime per dollar for
+// each Table 12 product.
+func Figure6(opts Options) ([]*Table, error) {
+	o := opts.normalize()
+	products := costmodel.Catalog()
+
+	mk := func(id, title string) *Table {
+		t := &Table{ID: id, Title: title, Columns: []string{"Product"}}
+		t.Columns = append(t.Columns, groupNames()...)
+		return t
+	}
+	tPerf := mk("Figure 6(a)", "Throughput (MB/s)")
+	tLife := mk("Figure 6(b)", "Lifetime (days), 512 GB/day at measured WAF")
+	tPerfD := mk("Figure 6(c)", "Performance per dollar ((MB/s)/$)")
+	tLifeD := mk("Figure 6(d)", "Lifetime per dollar (days/$)")
+	notes := []string{
+		"paper shape: MLC arrays beat TLC on raw performance and lifetime;",
+		"TLC arrays win performance/$; MLC arrays win lifetime/$;",
+		"the single NVMe drive wins raw performance but loses on lifetime and is fail-stop",
+	}
+	tPerf.Notes = notes
+
+	for _, p := range products {
+		rowPerf := []string{p.Label}
+		rowLife := []string{p.Label}
+		rowPerfD := []string{p.Label}
+		rowLifeD := []string{p.Label}
+		for _, g := range groupNames() {
+			span, err := groupSpan(g, o)
+			if err != nil {
+				return nil, err
+			}
+			cache, err := productCache(o, p, span)
+			if err != nil {
+				return nil, fmt.Errorf("figure 6 %s: %w", p.Label, err)
+			}
+			run, err := runGroup(cache, g, o)
+			if err != nil {
+				return nil, fmt.Errorf("figure 6 %s %s: %w", p.Label, g, err)
+			}
+			waf := run.WAF
+			if waf <= 0 {
+				waf = 1
+			}
+			days := costmodel.LifetimeDays(p.Endurance, p.TotalBytes(), costmodel.DefaultDailyWriteBytes, waf)
+			rowPerf = append(rowPerf, f1(run.MBps))
+			rowLife = append(rowLife, fmt.Sprintf("%.0f", days))
+			rowPerfD = append(rowPerfD, f3(run.MBps/p.PriceUSD))
+			rowLifeD = append(rowLifeD, f2(costmodel.LifetimePerDollar(days, p.PriceUSD)))
+		}
+		tPerf.Rows = append(tPerf.Rows, rowPerf)
+		tLife.Rows = append(tLife.Rows, rowLife)
+		tPerfD.Rows = append(tPerfD.Rows, rowPerfD)
+		tLifeD.Rows = append(tLifeD.Rows, rowLifeD)
+	}
+	return []*Table{tPerf, tLife, tPerfD, tLifeD}, nil
+}

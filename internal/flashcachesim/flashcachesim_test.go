@@ -1,0 +1,202 @@
+package flashcachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+const (
+	cacheCap = 8 << 20
+	primCap  = 64 << 20
+	setBytes = 64 << 10 // 16 pages per set for fast tests
+)
+
+type env struct {
+	cache *Cache
+	dev   *blockdev.MemDevice
+	prim  *blockdev.MemDevice
+	at    vtime.Time
+	t     *testing.T
+}
+
+func newEnv(t *testing.T, mutate func(*Config)) *env {
+	t.Helper()
+	dev := blockdev.NewMemDevice(cacheCap, 10*vtime.Microsecond)
+	prim := blockdev.NewMemDevice(primCap, vtime.Millisecond)
+	cfg := Config{Cache: dev, Primary: prim, SetBytes: setBytes, DirtyThreshPct: 90}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{cache: c, dev: dev, prim: prim, t: t}
+}
+
+func (e *env) submit(op blockdev.Op, lba, pages int64) vtime.Duration {
+	e.t.Helper()
+	done, err := e.cache.Submit(e.at, blockdev.Request{Op: op, Off: lba * blockdev.PageSize, Len: pages * blockdev.PageSize})
+	if err != nil {
+		e.t.Fatalf("%v lba %d: %v", op, lba, err)
+	}
+	lat := done.Sub(e.at)
+	e.at = vtime.Max(e.at, done)
+	return lat
+}
+
+func TestValidation(t *testing.T) {
+	dev := blockdev.NewMemDevice(cacheCap, 0)
+	prim := blockdev.NewMemDevice(primCap, 0)
+	if _, err := New(Config{Primary: prim}); err == nil {
+		t.Fatal("accepted missing cache")
+	}
+	if _, err := New(Config{Cache: dev, Primary: prim, SetBytes: 100}); err == nil {
+		t.Fatal("accepted unaligned set")
+	}
+	if _, err := New(Config{Cache: dev, Primary: prim, SetBytes: 3 << 20}); err == nil {
+		t.Fatal("accepted non-dividing set size")
+	}
+	if _, err := New(Config{Cache: dev, Primary: prim, DirtyThreshPct: 150}); err == nil {
+		t.Fatal("accepted bad threshold")
+	}
+	c, err := New(Config{Cache: dev, Primary: prim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config().SetBytes != 2<<20 || c.Config().DirtyThreshPct != 20 || c.Config().Mode != WriteBack {
+		t.Fatalf("defaults %+v", c.Config())
+	}
+}
+
+func TestWriteBackWriteGoesToCacheOnly(t *testing.T) {
+	e := newEnv(t, nil)
+	e.submit(blockdev.OpWrite, 5, 1)
+	if e.prim.Stats().WriteOps != 0 {
+		t.Fatal("write-back write touched primary")
+	}
+	// Data write + metadata write.
+	if e.dev.Stats().WriteOps != 2 {
+		t.Fatalf("cache writes %d, want data+metadata", e.dev.Stats().WriteOps)
+	}
+	if e.cache.DirtyPages() != 1 {
+		t.Fatalf("dirty pages %d", e.cache.DirtyPages())
+	}
+}
+
+func TestRewriteOfDirtySkipsMetadata(t *testing.T) {
+	e := newEnv(t, nil)
+	e.submit(blockdev.OpWrite, 5, 1)
+	writes := e.dev.Stats().WriteOps
+	e.submit(blockdev.OpWrite, 5, 1)
+	if e.dev.Stats().WriteOps != writes+1 {
+		t.Fatalf("rewrite issued %d cache writes, want 1 (data only)", e.dev.Stats().WriteOps-writes)
+	}
+}
+
+func TestWriteThroughHitsPrimarySynchronously(t *testing.T) {
+	e := newEnv(t, func(c *Config) { c.Mode = WriteThrough })
+	lat := e.submit(blockdev.OpWrite, 5, 1)
+	if lat < vtime.Millisecond {
+		t.Fatalf("write-through latency %v did not include primary", lat)
+	}
+	if e.prim.Stats().WriteOps != 1 {
+		t.Fatal("primary not written")
+	}
+	if e.cache.DirtyPages() != 0 {
+		t.Fatal("write-through left dirty data")
+	}
+}
+
+func TestReadMissFillsReadHitServes(t *testing.T) {
+	e := newEnv(t, nil)
+	if lat := e.submit(blockdev.OpRead, 9, 1); lat < vtime.Millisecond {
+		t.Fatalf("miss latency %v", lat)
+	}
+	if lat := e.submit(blockdev.OpRead, 9, 1); lat >= vtime.Millisecond {
+		t.Fatalf("hit latency %v went to primary", lat)
+	}
+	ctr := e.cache.Counters()
+	if ctr.Reads != 2 || ctr.ReadHits != 1 || ctr.FillBytes != blockdev.PageSize {
+		t.Fatalf("counters %+v", ctr)
+	}
+}
+
+func TestEvictionDestagesDirtyVictim(t *testing.T) {
+	e := newEnv(t, nil)
+	// Fill one set beyond its associativity with dirty blocks: find LBAs
+	// hashing to set 0.
+	setPages := setBytes / blockdev.PageSize
+	var lbas []int64
+	for lba := int64(0); len(lbas) < int(setPages)+1; lba++ {
+		if e.cache.setOf(lba) == 0 {
+			lbas = append(lbas, lba)
+		}
+	}
+	for _, lba := range lbas {
+		e.submit(blockdev.OpWrite, lba, 1)
+	}
+	if e.prim.Stats().WriteOps == 0 {
+		t.Fatal("set overflow did not destage")
+	}
+	if e.cache.Counters().DestageBytes == 0 {
+		t.Fatal("destage not accounted")
+	}
+}
+
+func TestDirtyThresholdDestages(t *testing.T) {
+	e := newEnv(t, func(c *Config) { c.DirtyThreshPct = 10 })
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		e.submit(blockdev.OpWrite, rng.Int63n(4096), 1)
+	}
+	totalPages := float64(int64(cacheCap) / blockdev.PageSize)
+	limitTotal := int64(totalPages * 0.10)
+	// Allow slack: the threshold is enforced per set.
+	if e.cache.DirtyPages() > 2*limitTotal {
+		t.Fatalf("dirty pages %d far above 10%% threshold %d", e.cache.DirtyPages(), limitTotal)
+	}
+}
+
+func TestFlushIsIgnored(t *testing.T) {
+	e := newEnv(t, nil)
+	e.submit(blockdev.OpWrite, 1, 1)
+	done, err := e.cache.Flush(e.at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != e.at {
+		t.Fatalf("flush took %v, Flashcache ignores flushes", done.Sub(e.at))
+	}
+	if e.dev.Stats().Flushes != 0 {
+		t.Fatal("flush forwarded to device")
+	}
+}
+
+func TestTrimForwarded(t *testing.T) {
+	e := newEnv(t, nil)
+	e.submit(blockdev.OpTrim, 0, 4)
+	if e.prim.Stats().TrimOps != 1 {
+		t.Fatal("trim not forwarded")
+	}
+}
+
+func TestWriteBackOutperformsWriteThrough(t *testing.T) {
+	// The Table 2 relationship, in miniature: random 4K writes are far
+	// faster under write-back than write-through.
+	run := func(mode WriteMode) vtime.Time {
+		e := newEnv(t, func(c *Config) { c.Mode = mode })
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 500; i++ {
+			e.submit(blockdev.OpWrite, rng.Int63n(1024), 1)
+		}
+		return e.at
+	}
+	wb, wt := run(WriteBack), run(WriteThrough)
+	if !(wt > 2*wb) {
+		t.Fatalf("write-through (%v) not much slower than write-back (%v)", wt, wb)
+	}
+}

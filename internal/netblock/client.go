@@ -1,0 +1,117 @@
+package netblock
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Client is a synchronous remote block device over one connection. Methods
+// are safe for concurrent use (requests serialize on the connection).
+type Client struct {
+	mu   sync.Mutex
+	conn io.ReadWriteCloser
+	size int64
+}
+
+// Dial connects to a server and fetches the volume size.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn)
+}
+
+// NewClient wraps an established connection (e.g. one side of net.Pipe).
+func NewClient(conn io.ReadWriteCloser) (*Client, error) {
+	c := &Client{conn: conn}
+	payload, err := c.roundTrip(opSize, 0, 0, nil)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if len(payload) != 8 {
+		conn.Close()
+		return nil, fmt.Errorf("%w: size payload %d bytes", ErrProtocol, len(payload))
+	}
+	c.size = int64(binary.BigEndian.Uint64(payload))
+	return c, nil
+}
+
+// Size reports the remote volume size in bytes.
+func (c *Client) Size() int64 { return c.size }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(op uint8, off uint64, length uint32, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeRequest(c.conn, op, off, length, payload); err != nil {
+		return nil, err
+	}
+	status, resp, err := readResponse(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if status != statusOK {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, resp)
+	}
+	return resp, nil
+}
+
+func (c *Client) check(off int64, n int) error {
+	switch {
+	case off < 0 || n < 0:
+		return fmt.Errorf("%w: negative range", ErrProtocol)
+	case n > MaxPayload:
+		return fmt.Errorf("%w: transfer %d exceeds limit %d", ErrProtocol, n, MaxPayload)
+	case off+int64(n) > c.size:
+		return fmt.Errorf("%w: [%d,%d) outside volume of %d", ErrRemote, off, off+int64(n), c.size)
+	}
+	return nil
+}
+
+// ReadAt fills p from the volume at off. It implements io.ReaderAt.
+func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	if err := c.check(off, len(p)); err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(opRead, uint64(off), uint32(len(p)), nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) != len(p) {
+		return 0, fmt.Errorf("%w: short read %d of %d", ErrProtocol, len(resp), len(p))
+	}
+	return copy(p, resp), nil
+}
+
+// WriteAt stores p at off. It implements io.WriterAt.
+func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	if err := c.check(off, len(p)); err != nil {
+		return 0, err
+	}
+	if _, err := c.roundTrip(opWrite, uint64(off), uint32(len(p)), p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Trim zeroes [off, off+n).
+func (c *Client) Trim(off, n int64) error {
+	if err := c.check(off, int(n)); err != nil {
+		return err
+	}
+	_, err := c.roundTrip(opTrim, uint64(off), uint32(n), nil)
+	return err
+}
+
+// Flush is a durability barrier.
+func (c *Client) Flush() error {
+	_, err := c.roundTrip(opFlush, 0, 0, nil)
+	return err
+}

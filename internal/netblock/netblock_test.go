@@ -1,0 +1,201 @@
+package netblock
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+)
+
+// startPair runs a server over TCP on localhost and returns a connected
+// client.
+func startPair(t *testing.T, size int64) (*Server, *Client) {
+	t.Helper()
+	srv, err := NewServer(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return srv, cli
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(0); err == nil {
+		t.Fatal("accepted empty volume")
+	}
+}
+
+func TestRoundTripOverTCP(t *testing.T) {
+	_, cli := startPair(t, 1<<20)
+	if cli.Size() != 1<<20 {
+		t.Fatalf("size %d", cli.Size())
+	}
+	want := []byte("hello remote block device")
+	if _, err := cli.WriteAt(want, 4096); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if _, err := cli.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %q, want %q", got, want)
+	}
+	if err := cli.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimZeroes(t *testing.T) {
+	_, cli := startPair(t, 1<<20)
+	if _, err := cli.WriteAt([]byte{1, 2, 3, 4}, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Trim(100, 4); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := cli.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Fatalf("trimmed data %v", got)
+	}
+}
+
+func TestOutOfRangeRejected(t *testing.T) {
+	_, cli := startPair(t, 4096)
+	if _, err := cli.WriteAt([]byte{1}, 4096); err == nil {
+		t.Fatal("write past end accepted")
+	}
+	if _, err := cli.ReadAt(make([]byte, 2), 4095); err == nil {
+		t.Fatal("read past end accepted")
+	}
+	if _, err := cli.ReadAt(make([]byte, 1), -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, err := NewServer(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			cli, err := Dial(addr.String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			buf := bytes.Repeat([]byte{byte(id + 1)}, 512)
+			off := int64(id) * 512
+			for rep := 0; rep < 50; rep++ {
+				if _, err := cli.WriteAt(buf, off); err != nil {
+					errs <- err
+					return
+				}
+				got := make([]byte, 512)
+				if _, err := cli.ReadAt(got, off); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(got, buf) {
+					errs <- fmt.Errorf("client %d: corrupted read", id)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServeConnOverPipe(t *testing.T) {
+	srv, err := NewServer(8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.ServeConn(a)
+	}()
+	cli, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.WriteAt([]byte("pipe"), 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := cli.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "pipe" {
+		t.Fatalf("got %q", got)
+	}
+	cli.Close()
+	<-done
+}
+
+func TestProtocolRejectsGarbage(t *testing.T) {
+	if _, err := readRequest(bytes.NewReader([]byte("notthemagicnumber"))); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := readResponse(bytes.NewReader([]byte("garbagegarbage"))); !errors.Is(err, ErrProtocol) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v", err)
+	}
+	// Oversized length field.
+	var buf bytes.Buffer
+	if err := writeRequest(&buf, opRead, 0, MaxPayload+1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRequest(&buf); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("oversized err = %v", err)
+	}
+}
+
+func TestServerCloseIsIdempotent(t *testing.T) {
+	srv, err := NewServer(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

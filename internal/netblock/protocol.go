@@ -1,0 +1,136 @@
+// Package netblock implements a minimal remote block-device protocol over
+// TCP — the repository's stand-in for the iSCSI transport the paper's
+// testbed used between host and primary storage (Table 1). Unlike the
+// virtual-time simulation, this is a real network service moving real
+// bytes: Server exports an in-memory volume, Client gives random-access
+// reads/writes/trims/flushes over a connection.
+//
+// Wire format (all integers big-endian):
+//
+//	request:  magic u32 | op u8 | offset u64 | length u32 | payload (writes)
+//	response: magic u32 | status u8 | length u32 | payload (reads)
+package netblock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol constants.
+const (
+	reqMagic  uint32 = 0x53524351 // "SRCQ"
+	respMagic uint32 = 0x53524352 // "SRCR"
+
+	opRead  uint8 = 1
+	opWrite uint8 = 2
+	opTrim  uint8 = 3
+	opFlush uint8 = 4
+	opSize  uint8 = 5
+
+	statusOK  uint8 = 0
+	statusErr uint8 = 1
+
+	// MaxPayload bounds one transfer.
+	MaxPayload = 4 << 20
+)
+
+// Errors.
+var (
+	// ErrProtocol reports a malformed frame.
+	ErrProtocol = errors.New("netblock: protocol error")
+	// ErrRemote reports a server-side failure.
+	ErrRemote = errors.New("netblock: remote error")
+)
+
+// request is one decoded command frame.
+type request struct {
+	op      uint8
+	off     uint64
+	length  uint32
+	payload []byte
+}
+
+// readRequest decodes one command frame from r.
+func readRequest(r io.Reader) (*request, error) {
+	var hdr [17]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != reqMagic {
+		return nil, fmt.Errorf("%w: bad request magic", ErrProtocol)
+	}
+	req := &request{
+		op:     hdr[4],
+		off:    binary.BigEndian.Uint64(hdr[5:]),
+		length: binary.BigEndian.Uint32(hdr[13:]),
+	}
+	if req.length > MaxPayload {
+		return nil, fmt.Errorf("%w: length %d exceeds limit", ErrProtocol, req.length)
+	}
+	if req.op == opWrite {
+		req.payload = make([]byte, req.length)
+		if _, err := io.ReadFull(r, req.payload); err != nil {
+			return nil, err
+		}
+	}
+	return req, nil
+}
+
+// writeRequest encodes one command frame to w.
+func writeRequest(w io.Writer, op uint8, off uint64, length uint32, payload []byte) error {
+	var hdr [17]byte
+	binary.BigEndian.PutUint32(hdr[0:], reqMagic)
+	hdr[4] = op
+	binary.BigEndian.PutUint64(hdr[5:], off)
+	binary.BigEndian.PutUint32(hdr[13:], length)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeResponse encodes one response frame to w.
+func writeResponse(w io.Writer, status uint8, payload []byte) error {
+	var hdr [9]byte
+	binary.BigEndian.PutUint32(hdr[0:], respMagic)
+	hdr[4] = status
+	binary.BigEndian.PutUint32(hdr[5:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readResponse decodes one response frame from r.
+func readResponse(r io.Reader) (status uint8, payload []byte, err error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != respMagic {
+		return 0, nil, fmt.Errorf("%w: bad response magic", ErrProtocol)
+	}
+	n := binary.BigEndian.Uint32(hdr[5:])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("%w: length %d exceeds limit", ErrProtocol, n)
+	}
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return 0, nil, err
+		}
+	}
+	return hdr[4], payload, nil
+}

@@ -1,0 +1,142 @@
+package netblock
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Server exports one in-memory volume to any number of concurrent clients.
+type Server struct {
+	mu   sync.RWMutex
+	data []byte
+
+	lis      net.Listener
+	wg       sync.WaitGroup
+	shutdown chan struct{}
+	once     sync.Once
+}
+
+// NewServer creates a server exporting a zeroed volume of size bytes.
+func NewServer(size int64) (*Server, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("netblock: volume size %d must be positive", size)
+	}
+	return &Server{
+		data:     make([]byte, size),
+		shutdown: make(chan struct{}),
+	}, nil
+}
+
+// Size reports the exported volume size.
+func (s *Server) Size() int64 { return int64(len(s.data)) }
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines until
+// Close.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.lis = lis
+	s.wg.Add(1)
+	go s.acceptLoop(lis)
+	return lis.Addr(), nil
+}
+
+func (s *Server) acceptLoop(lis net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-s.shutdown:
+				return
+			default:
+				return // listener failed
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			_ = s.ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections to drain.
+func (s *Server) Close() error {
+	var err error
+	s.once.Do(func() {
+		close(s.shutdown)
+		if s.lis != nil {
+			err = s.lis.Close()
+		}
+	})
+	s.wg.Wait()
+	return err
+}
+
+// ServeConn handles one client connection until EOF or error. It can be
+// used directly (e.g. over net.Pipe in tests) without Listen.
+func (s *Server) ServeConn(conn io.ReadWriter) error {
+	for {
+		req, err := readRequest(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		if err := s.handle(conn, req); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *Server) handle(conn io.Writer, req *request) error {
+	end := int64(req.off) + int64(req.length)
+	if req.op != opSize && req.op != opFlush {
+		if int64(req.off) > s.Size() || end > s.Size() || end < int64(req.off) {
+			return writeResponse(conn, statusErr, []byte("out of range"))
+		}
+	}
+	switch req.op {
+	case opRead:
+		buf := make([]byte, req.length)
+		s.mu.RLock()
+		copy(buf, s.data[req.off:end])
+		s.mu.RUnlock()
+		return writeResponse(conn, statusOK, buf)
+	case opWrite:
+		s.mu.Lock()
+		copy(s.data[req.off:end], req.payload)
+		s.mu.Unlock()
+		return writeResponse(conn, statusOK, nil)
+	case opTrim:
+		s.mu.Lock()
+		zero(s.data[req.off:end])
+		s.mu.Unlock()
+		return writeResponse(conn, statusOK, nil)
+	case opFlush:
+		// The volume is memory-backed: flush is a barrier only.
+		return writeResponse(conn, statusOK, nil)
+	case opSize:
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], uint64(s.Size()))
+		return writeResponse(conn, statusOK, buf[:])
+	default:
+		return writeResponse(conn, statusErr, []byte("unknown op"))
+	}
+}
+
+func zero(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,84 @@
+// Package netlink models a full-duplex network pipe with fixed bandwidth
+// and round-trip latency — the simulation's stand-in for the 1 Gbps iSCSI
+// path between the host and primary storage.
+package netlink
+
+import (
+	"fmt"
+
+	"srccache/internal/vtime"
+)
+
+// Config describes a link.
+type Config struct {
+	// Bandwidth is per-direction bandwidth in bytes/s (default 1 Gbps =
+	// 125 MB/s).
+	Bandwidth float64
+	// RTT is the round-trip latency (default 200 µs).
+	RTT vtime.Duration
+}
+
+// Validate fills defaults.
+func (c Config) Validate() (Config, error) {
+	if c.Bandwidth == 0 {
+		c.Bandwidth = 125e6
+	}
+	if c.Bandwidth < 0 {
+		return c, fmt.Errorf("netlink: negative bandwidth %v", c.Bandwidth)
+	}
+	if c.RTT == 0 {
+		c.RTT = 200 * vtime.Microsecond
+	}
+	if c.RTT < 0 {
+		return c, fmt.Errorf("netlink: negative rtt %v", c.RTT)
+	}
+	return c, nil
+}
+
+// Link is a full-duplex pipe. Send models host→storage transfers (writes),
+// Recv models storage→host transfers (read payloads); the two directions
+// contend independently.
+type Link struct {
+	cfg      Config
+	upBusy   vtime.Time
+	downBusy vtime.Time
+
+	sentBytes int64
+	recvBytes int64
+}
+
+// New builds a link from cfg.
+func New(cfg Config) (*Link, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	return &Link{cfg: cfg}, nil
+}
+
+// Config returns the effective configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// Send transfers n bytes host→storage starting no earlier than at and
+// returns the arrival time at the far end (propagation included).
+func (l *Link) Send(at vtime.Time, n int64) vtime.Time {
+	start := vtime.Max(at, l.upBusy)
+	l.upBusy = start.Add(vtime.TransferTime(n, l.cfg.Bandwidth))
+	l.sentBytes += n
+	return l.upBusy.Add(l.cfg.RTT / 2)
+}
+
+// Recv transfers n bytes storage→host starting no earlier than at and
+// returns the arrival time at the host.
+func (l *Link) Recv(at vtime.Time, n int64) vtime.Time {
+	start := vtime.Max(at, l.downBusy)
+	l.downBusy = start.Add(vtime.TransferTime(n, l.cfg.Bandwidth))
+	l.recvBytes += n
+	return l.downBusy.Add(l.cfg.RTT / 2)
+}
+
+// SentBytes reports cumulative host→storage traffic.
+func (l *Link) SentBytes() int64 { return l.sentBytes }
+
+// RecvBytes reports cumulative storage→host traffic.
+func (l *Link) RecvBytes() int64 { return l.recvBytes }

@@ -1,0 +1,61 @@
+package netlink
+
+import (
+	"testing"
+
+	"srccache/internal/vtime"
+)
+
+func TestDefaults(t *testing.T) {
+	l, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Config().Bandwidth != 125e6 || l.Config().RTT != 200*vtime.Microsecond {
+		t.Fatalf("defaults %+v", l.Config())
+	}
+	if _, err := New(Config{Bandwidth: -1}); err == nil {
+		t.Fatal("accepted negative bandwidth")
+	}
+	if _, err := New(Config{RTT: -1}); err == nil {
+		t.Fatal("accepted negative rtt")
+	}
+}
+
+func TestTransferTimeAndSerialization(t *testing.T) {
+	l, err := New(Config{Bandwidth: 1e6, RTT: 2 * vtime.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MB at 1 MB/s = 1 s + half RTT propagation.
+	done := l.Send(0, 1e6)
+	want := vtime.Time(vtime.Second + vtime.Millisecond)
+	if done != want {
+		t.Fatalf("send done %v, want %v", done, want)
+	}
+	// Second transfer in the same direction queues behind the first.
+	done2 := l.Send(0, 1e6)
+	if done2 != want.Add(vtime.Second) {
+		t.Fatalf("queued send done %v", done2)
+	}
+	if l.SentBytes() != 2e6 {
+		t.Fatalf("sent bytes %d", l.SentBytes())
+	}
+}
+
+func TestFullDuplexIndependence(t *testing.T) {
+	l, err := New(Config{Bandwidth: 1e6, RTT: 2 * vtime.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Send(0, 1e6)
+	// The receive direction is idle: a simultaneous Recv is not queued
+	// behind the Send.
+	done := l.Recv(0, 1e6)
+	if done != vtime.Time(vtime.Second+vtime.Nanosecond) {
+		t.Fatalf("recv done %v, want ~1s", done)
+	}
+	if l.RecvBytes() != 1e6 {
+		t.Fatalf("recv bytes %d", l.RecvBytes())
+	}
+}

@@ -1,0 +1,298 @@
+package raid
+
+import (
+	"errors"
+	"fmt"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+// span is a contiguous byte range on one member device.
+type span struct {
+	dev int
+	off int64
+	n   int64
+}
+
+// dataSpans maps a logical byte range to per-device whole-chunk spans,
+// merging adjacent chunks so large requests become one command per device
+// (block-layer request merging). Parity chunks are not included.
+func (a *Array) dataSpans(off, n int64) []span {
+	c0 := off / a.chunk
+	c1 := (off + n - 1) / a.chunk
+	spans := make([]span, 0, len(a.devs))
+	for c := c0; c <= c1; c++ {
+		s, pos := a.locate(c)
+		d := a.dataDev(s, pos)
+		dOff := s * a.chunk
+		merged := false
+		for i := range spans {
+			if spans[i].dev == d && spans[i].off+spans[i].n == dOff {
+				spans[i].n += a.chunk
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			spans = append(spans, span{dev: d, off: dOff, n: a.chunk})
+		}
+	}
+	return spans
+}
+
+// read serves a logical read, reconstructing around failed members where
+// redundancy allows.
+func (a *Array) read(at vtime.Time, req blockdev.Request) (vtime.Time, error) {
+	done := at
+	for _, sp := range a.dataSpans(req.Off, req.Len) {
+		t, err := a.submitDev(at, sp.dev, blockdev.OpRead, sp.off, sp.n)
+		if err == nil {
+			done = vtime.Max(done, t)
+			continue
+		}
+		if !errors.Is(err, blockdev.ErrDeviceFailed) {
+			return at, err
+		}
+		t, err = a.reconstructRead(at, sp)
+		if err != nil {
+			return at, err
+		}
+		done = vtime.Max(done, t)
+	}
+	return done, nil
+}
+
+// reconstructRead serves one failed-member span from redundancy: the mirror
+// partner under Level1, or all surviving chunks under parity RAID.
+func (a *Array) reconstructRead(at vtime.Time, sp span) (vtime.Time, error) {
+	switch a.level {
+	case Level0:
+		return at, fmt.Errorf("%w: %v device %d", ErrDegraded, a.level, sp.dev)
+	case Level1:
+		t, err := a.submitDev(at, mirror(sp.dev), blockdev.OpRead, sp.off, sp.n)
+		if err != nil {
+			return at, fmt.Errorf("%w: both mirrors of pair %d", ErrDegraded, sp.dev/2)
+		}
+		return t, nil
+	default:
+		done := at
+		for d := range a.devs {
+			if d == sp.dev {
+				continue
+			}
+			t, err := a.submitDev(at, d, blockdev.OpRead, sp.off, sp.n)
+			if err != nil {
+				return at, fmt.Errorf("%w: second failure on device %d", ErrDegraded, d)
+			}
+			done = vtime.Max(done, t)
+		}
+		return done, nil
+	}
+}
+
+// write serves a logical write.
+func (a *Array) write(at vtime.Time, req blockdev.Request) (vtime.Time, error) {
+	switch a.level {
+	case Level0:
+		done := at
+		for _, sp := range a.dataSpans(req.Off, req.Len) {
+			t, err := a.submitDev(at, sp.dev, blockdev.OpWrite, sp.off, sp.n)
+			if err != nil {
+				return at, err
+			}
+			done = vtime.Max(done, t)
+		}
+		return done, nil
+	case Level1:
+		done := at
+		for _, sp := range a.dataSpans(req.Off, req.Len) {
+			okOne := false
+			for _, d := range [2]int{sp.dev, mirror(sp.dev)} {
+				t, err := a.submitDev(at, d, blockdev.OpWrite, sp.off, sp.n)
+				if err != nil {
+					if errors.Is(err, blockdev.ErrDeviceFailed) {
+						continue
+					}
+					return at, err
+				}
+				okOne = true
+				done = vtime.Max(done, t)
+			}
+			if !okOne {
+				return at, fmt.Errorf("%w: both mirrors of pair %d", ErrDegraded, sp.dev/2)
+			}
+		}
+		return done, nil
+	default:
+		return a.parityWrite(at, req)
+	}
+}
+
+// parityWrite serves a write under RAID-4/5: full stripes are written in one
+// pass with freshly computed parity (no reads); partially covered stripes
+// pay the read-modify-write penalty.
+func (a *Array) parityWrite(at vtime.Time, req blockdev.Request) (vtime.Time, error) {
+	c0 := req.Off / a.chunk
+	c1 := (req.Off + req.Len - 1) / a.chunk
+	s0 := c0 / int64(a.dataDevs)
+	s1 := c1 / int64(a.dataDevs)
+
+	// A stripe is "full" when every one of its data chunks is covered (the
+	// array operates at whole-chunk granularity). Full stripes form one
+	// contiguous run in the middle of the request.
+	fullFrom, fullTo := int64(-1), int64(-2)
+	for s := s0; s <= s1; s++ {
+		if s*int64(a.dataDevs) >= c0 && (s+1)*int64(a.dataDevs)-1 <= c1 {
+			if fullFrom < 0 {
+				fullFrom = s
+			}
+			fullTo = s
+		}
+	}
+
+	done := at
+	for s := s0; s <= s1; s++ {
+		if s >= fullFrom && s <= fullTo {
+			continue // handled by the coalesced full run below
+		}
+		t, err := a.rmwStripe(at, s, c0, c1)
+		if err != nil {
+			return at, err
+		}
+		done = vtime.Max(done, t)
+	}
+	if fullFrom >= 0 {
+		off := fullFrom * a.chunk
+		n := (fullTo - fullFrom + 1) * a.chunk
+		for d := range a.devs {
+			t, err := a.submitDev(at, d, blockdev.OpWrite, off, n)
+			if err != nil {
+				if errors.Is(err, blockdev.ErrDeviceFailed) {
+					continue // parity protects the missing member
+				}
+				return at, err
+			}
+			done = vtime.Max(done, t)
+		}
+	}
+	return done, nil
+}
+
+// rmwStripe updates the covered chunks of stripe s via read-modify-write:
+// read old data and parity, then write new data and parity.
+func (a *Array) rmwStripe(at vtime.Time, s int64, c0, c1 int64) (vtime.Time, error) {
+	p := a.parityDev(s)
+	dOff := s * a.chunk
+	var touched []int
+	for pos := 0; pos < a.dataDevs; pos++ {
+		c := s*int64(a.dataDevs) + int64(pos)
+		if c >= c0 && c <= c1 {
+			touched = append(touched, pos)
+		}
+	}
+
+	readDone := at
+	degraded := false
+	readOne := func(d int) error {
+		t, err := a.submitDev(at, d, blockdev.OpRead, dOff, a.chunk)
+		if err != nil {
+			if errors.Is(err, blockdev.ErrDeviceFailed) {
+				degraded = true
+				return nil
+			}
+			return err
+		}
+		readDone = vtime.Max(readDone, t)
+		return nil
+	}
+	for _, pos := range touched {
+		if err := readOne(a.dataDev(s, pos)); err != nil {
+			return at, err
+		}
+	}
+	if err := readOne(p); err != nil {
+		return at, err
+	}
+	if degraded {
+		// A member is gone: reconstruct by reading every survivor.
+		for d := range a.devs {
+			t, err := a.submitDev(at, d, blockdev.OpRead, dOff, a.chunk)
+			if err != nil && !errors.Is(err, blockdev.ErrDeviceFailed) {
+				return at, err
+			}
+			if err == nil {
+				readDone = vtime.Max(readDone, t)
+			}
+		}
+	}
+
+	writeDone := readDone
+	writeOne := func(d int) error {
+		t, err := a.submitDev(readDone, d, blockdev.OpWrite, dOff, a.chunk)
+		if err != nil {
+			if errors.Is(err, blockdev.ErrDeviceFailed) {
+				return nil
+			}
+			return err
+		}
+		writeDone = vtime.Max(writeDone, t)
+		return nil
+	}
+	for _, pos := range touched {
+		if err := writeOne(a.dataDev(s, pos)); err != nil {
+			return at, err
+		}
+	}
+	if err := writeOne(p); err != nil {
+		return at, err
+	}
+	return writeDone, nil
+}
+
+// Rebuild reconstructs the content role of member dev by streaming every
+// chunk range from the survivors and writing it to the (repaired or
+// replaced) device. It returns the completion time. The unit is 1 MiB of
+// device range per pass to model a realistic rebuild stream.
+func (a *Array) Rebuild(at vtime.Time, dev int) (vtime.Time, error) {
+	if dev < 0 || dev >= len(a.devs) {
+		return at, fmt.Errorf("raid: rebuild of unknown device %d", dev)
+	}
+	unit := int64(1 << 20)
+	if unit > a.devCap {
+		unit = a.devCap
+	}
+	cursor := at
+	for off := int64(0); off < a.devCap; off += unit {
+		n := unit
+		if off+n > a.devCap {
+			n = a.devCap - off
+		}
+		readDone := cursor
+		switch a.level {
+		case Level1:
+			t, err := a.submitDev(cursor, mirror(dev), blockdev.OpRead, off, n)
+			if err != nil {
+				return at, fmt.Errorf("rebuild source: %w", err)
+			}
+			readDone = t
+		default:
+			for d := range a.devs {
+				if d == dev {
+					continue
+				}
+				t, err := a.submitDev(cursor, d, blockdev.OpRead, off, n)
+				if err != nil {
+					return at, fmt.Errorf("rebuild source %d: %w", d, err)
+				}
+				readDone = vtime.Max(readDone, t)
+			}
+		}
+		t, err := a.submitDev(readDone, dev, blockdev.OpWrite, off, n)
+		if err != nil {
+			return at, fmt.Errorf("rebuild target: %w", err)
+		}
+		cursor = t
+	}
+	return cursor, nil
+}

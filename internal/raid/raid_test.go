@@ -1,0 +1,347 @@
+package raid
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+const devCap = 1 << 20 // 256 pages per member
+
+// newArray builds an array of n MemDevices wrapped for fault injection.
+func newArray(t *testing.T, level Level, chunk int64, n int) (*Array, []*blockdev.Faulty) {
+	t.Helper()
+	devs := make([]blockdev.Device, n)
+	faults := make([]*blockdev.Faulty, n)
+	for i := range devs {
+		f := blockdev.NewFaulty(blockdev.NewMemDevice(devCap, 100*vtime.Microsecond))
+		devs[i] = f
+		faults[i] = f
+	}
+	a, err := New(level, chunk, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, faults
+}
+
+func TestNewValidation(t *testing.T) {
+	mk := func(n int) []blockdev.Device {
+		devs := make([]blockdev.Device, n)
+		for i := range devs {
+			devs[i] = blockdev.NewMemDevice(devCap, 0)
+		}
+		return devs
+	}
+	if _, err := New(Level0, blockdev.PageSize, mk(1)); err == nil {
+		t.Fatal("accepted single device")
+	}
+	if _, err := New(Level5, blockdev.PageSize, mk(2)); err == nil {
+		t.Fatal("accepted 2-device RAID-5")
+	}
+	if _, err := New(Level1, blockdev.PageSize, mk(3)); err == nil {
+		t.Fatal("accepted odd mirror count")
+	}
+	if _, err := New(Level0, 100, mk(2)); err == nil {
+		t.Fatal("accepted unaligned chunk")
+	}
+	if _, err := New(Level(42), blockdev.PageSize, mk(4)); err == nil {
+		t.Fatal("accepted unknown level")
+	}
+	uneven := mk(2)
+	uneven[1] = blockdev.NewMemDevice(2*devCap, 0)
+	if _, err := New(Level0, blockdev.PageSize, uneven); err == nil {
+		t.Fatal("accepted unequal capacities")
+	}
+}
+
+func TestCapacityPerLevel(t *testing.T) {
+	tests := []struct {
+		level Level
+		n     int
+		want  int64
+	}{
+		{Level0, 4, 4 * devCap},
+		{Level1, 4, 2 * devCap},
+		{Level4, 4, 3 * devCap},
+		{Level5, 4, 3 * devCap},
+	}
+	for _, tt := range tests {
+		t.Run(tt.level.String(), func(t *testing.T) {
+			a, _ := newArray(t, tt.level, blockdev.PageSize, tt.n)
+			if a.Capacity() != tt.want {
+				t.Fatalf("capacity = %d, want %d", a.Capacity(), tt.want)
+			}
+		})
+	}
+}
+
+func TestLevelStrings(t *testing.T) {
+	if Level0.String() != "RAID-0" || Level5.String() != "RAID-5" || Level4.String() != "RAID-4" || Level1.String() != "RAID-1" {
+		t.Fatal("level names wrong")
+	}
+	if Level10 != Level1 {
+		t.Fatal("Level10 should alias Level1")
+	}
+}
+
+func TestLocatePageBijective(t *testing.T) {
+	for _, level := range []Level{Level0, Level1, Level4, Level5} {
+		a, _ := newArray(t, level, 2*blockdev.PageSize, 4)
+		seen := make(map[[2]int64]int64)
+		pages := a.Capacity() / blockdev.PageSize
+		for p := int64(0); p < pages; p++ {
+			dev, dpage := a.LocatePage(p)
+			if dpage < 0 || dpage >= devCap/blockdev.PageSize {
+				t.Fatalf("%v: page %d -> dev page %d out of range", level, p, dpage)
+			}
+			key := [2]int64{int64(dev), dpage}
+			if prev, dup := seen[key]; dup {
+				t.Fatalf("%v: pages %d and %d both map to dev %d page %d", level, prev, p, dev, dpage)
+			}
+			seen[key] = p
+		}
+	}
+}
+
+func TestParityDevRotatesOnlyForRAID5(t *testing.T) {
+	a4, _ := newArray(t, Level4, blockdev.PageSize, 4)
+	a5, _ := newArray(t, Level5, blockdev.PageSize, 4)
+	devs5 := make(map[int]bool)
+	for s := int64(0); s < 8; s++ {
+		if got := a4.parityDev(s); got != 3 {
+			t.Fatalf("RAID-4 parity dev for stripe %d = %d, want 3", s, got)
+		}
+		devs5[a5.parityDev(s)] = true
+	}
+	if len(devs5) != 4 {
+		t.Fatalf("RAID-5 parity visited %d devices, want 4", len(devs5))
+	}
+}
+
+func TestSmallWriteRMWPenalty(t *testing.T) {
+	a0, _ := newArray(t, Level0, blockdev.PageSize, 4)
+	a5, _ := newArray(t, Level5, blockdev.PageSize, 4)
+	req := blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: blockdev.PageSize}
+	if _, err := a0.Submit(0, req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a5.Submit(0, req); err != nil {
+		t.Fatal(err)
+	}
+	readDev := func(a *Array) (reads, writes int64) {
+		for _, d := range a.Devices() {
+			reads += d.Stats().ReadOps
+			writes += d.Stats().WriteOps
+		}
+		return
+	}
+	r0, w0 := readDev(a0)
+	if r0 != 0 || w0 != 1 {
+		t.Fatalf("RAID-0 small write did %d reads %d writes", r0, w0)
+	}
+	// RAID-5 small write: read old data + old parity, write new data + parity.
+	r5, w5 := readDev(a5)
+	if r5 != 2 || w5 != 2 {
+		t.Fatalf("RAID-5 small write did %d reads %d writes, want 2/2", r5, w5)
+	}
+}
+
+func TestFullStripeWriteSkipsReads(t *testing.T) {
+	a5, _ := newArray(t, Level5, blockdev.PageSize, 4)
+	// 3 data chunks = one full stripe.
+	if _, err := a5.Submit(0, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: 3 * blockdev.PageSize}); err != nil {
+		t.Fatal(err)
+	}
+	var reads, writes int64
+	for _, d := range a5.Devices() {
+		reads += d.Stats().ReadOps
+		writes += d.Stats().WriteOps
+	}
+	if reads != 0 {
+		t.Fatalf("full-stripe write issued %d reads", reads)
+	}
+	if writes != 4 { // 3 data + 1 parity
+		t.Fatalf("full-stripe write issued %d device writes, want 4", writes)
+	}
+}
+
+func TestLargeWriteCoalescesPerDevice(t *testing.T) {
+	a5, _ := newArray(t, Level5, blockdev.PageSize, 4)
+	// 6 full stripes in one request -> one write per device.
+	if _, err := a5.Submit(0, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: 18 * blockdev.PageSize}); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range a5.Devices() {
+		if d.Stats().WriteOps != 1 {
+			t.Fatalf("device %d received %d writes, want 1 coalesced", i, d.Stats().WriteOps)
+		}
+	}
+}
+
+func TestMirrorWritesBothAndReadsSurvivor(t *testing.T) {
+	a1, faults := newArray(t, Level1, blockdev.PageSize, 4)
+	req := blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: blockdev.PageSize}
+	if _, err := a1.Submit(0, req); err != nil {
+		t.Fatal(err)
+	}
+	if faults[0].Stats().WriteOps != 1 || faults[1].Stats().WriteOps != 1 {
+		t.Fatal("mirror write did not hit both members")
+	}
+	faults[0].Fail()
+	if _, err := a1.Submit(0, blockdev.Request{Op: blockdev.OpRead, Off: 0, Len: blockdev.PageSize}); err != nil {
+		t.Fatalf("degraded mirror read: %v", err)
+	}
+	faults[1].Fail()
+	if _, err := a1.Submit(0, blockdev.Request{Op: blockdev.OpRead, Off: 0, Len: blockdev.PageSize}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("double mirror failure err = %v", err)
+	}
+}
+
+func TestDegradedParityRead(t *testing.T) {
+	a5, faults := newArray(t, Level5, blockdev.PageSize, 4)
+	if _, err := a5.Submit(0, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: 3 * blockdev.PageSize}); err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := a5.LocatePage(0)
+	faults[dev].Fail()
+	if _, err := a5.Submit(0, blockdev.Request{Op: blockdev.OpRead, Off: 0, Len: blockdev.PageSize}); err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	// Reads and writes keep working degraded.
+	if _, err := a5.Submit(0, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: blockdev.PageSize}); err != nil {
+		t.Fatalf("degraded write: %v", err)
+	}
+	// A second failure is unrecoverable.
+	faults[(dev+1)%4].Fail()
+	if _, err := a5.Submit(0, blockdev.Request{Op: blockdev.OpRead, Off: 0, Len: blockdev.PageSize}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("double failure err = %v", err)
+	}
+}
+
+func TestRAID0FailureIsFatal(t *testing.T) {
+	a0, faults := newArray(t, Level0, blockdev.PageSize, 4)
+	faults[0].Fail()
+	if _, err := a0.Submit(0, blockdev.Request{Op: blockdev.OpRead, Off: 0, Len: blockdev.PageSize}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("RAID-0 degraded read err = %v", err)
+	}
+}
+
+func TestWriteTaggedParityConsistency(t *testing.T) {
+	a5, _ := newArray(t, Level5, blockdev.PageSize, 4)
+	tags := []blockdev.Tag{blockdev.DataTag(0, 1), blockdev.DataTag(1, 1), blockdev.DataTag(2, 1)}
+	if _, err := a5.WriteTagged(0, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: 3 * blockdev.PageSize}, tags); err != nil {
+		t.Fatal(err)
+	}
+	// Every lost member must be reconstructable from the survivors.
+	for lpage := int64(0); lpage < 3; lpage++ {
+		dev, dpage := a5.LocatePage(lpage)
+		got, err := a5.ReconstructTag(dev, dpage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tags[lpage] {
+			t.Fatalf("page %d reconstructed %v, want %v", lpage, got, tags[lpage])
+		}
+	}
+}
+
+func TestWriteTaggedMirrorReconstruct(t *testing.T) {
+	a1, _ := newArray(t, Level1, blockdev.PageSize, 4)
+	tag := blockdev.DataTag(7, 3)
+	if _, err := a1.WriteTagged(0, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: blockdev.PageSize}, []blockdev.Tag{tag}); err != nil {
+		t.Fatal(err)
+	}
+	dev, dpage := a1.LocatePage(0)
+	got, err := a1.ReconstructTag(dev, dpage)
+	if err != nil || got != tag {
+		t.Fatalf("mirror reconstruct = %v, %v", got, err)
+	}
+}
+
+func TestWriteTaggedPropertyRandomPages(t *testing.T) {
+	a5, _ := newArray(t, Level5, blockdev.PageSize, 4)
+	pages := a5.Capacity() / blockdev.PageSize
+	var at vtime.Time
+	f := func(rawPage uint16, version uint8) bool {
+		lpage := int64(rawPage) % pages
+		tag := blockdev.DataTag(lpage, uint64(version)+1)
+		done, err := a5.WriteTagged(at, blockdev.Request{
+			Op: blockdev.OpWrite, Off: lpage * blockdev.PageSize, Len: blockdev.PageSize,
+		}, []blockdev.Tag{tag})
+		if err != nil {
+			return false
+		}
+		at = done
+		dev, dpage := a5.LocatePage(lpage)
+		got, err := a5.ReconstructTag(dev, dpage)
+		return err == nil && got == tag
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebuildStreams(t *testing.T) {
+	a5, faults := newArray(t, Level5, blockdev.PageSize, 4)
+	faults[2].Fail()
+	faults[2].Repair()
+	done, err := a5.Rebuild(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatalf("rebuild completed at %v", done)
+	}
+	if faults[2].Stats().WriteOps == 0 {
+		t.Fatal("rebuild wrote nothing to target")
+	}
+	if faults[0].Stats().ReadOps == 0 {
+		t.Fatal("rebuild read nothing from survivors")
+	}
+	if _, err := a5.Rebuild(0, 9); err == nil {
+		t.Fatal("rebuild accepted unknown device")
+	}
+}
+
+func TestFlushAndTrimForward(t *testing.T) {
+	a5, faults := newArray(t, Level5, blockdev.PageSize, 4)
+	if _, err := a5.Submit(0, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: 3 * blockdev.PageSize}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a5.Flush(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range faults {
+		if f.Stats().Flushes != 1 {
+			t.Fatalf("device %d flushes = %d", i, f.Stats().Flushes)
+		}
+	}
+	if _, err := a5.Submit(0, blockdev.Request{Op: blockdev.OpTrim, Off: 0, Len: 3 * blockdev.PageSize}); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range faults {
+		if f.Stats().TrimOps != 1 {
+			t.Fatalf("device %d trims = %d", i, f.Stats().TrimOps)
+		}
+	}
+	// Flush with a failed member succeeds on the survivors.
+	faults[1].Fail()
+	if _, err := a5.Flush(0); err != nil {
+		t.Fatalf("degraded flush: %v", err)
+	}
+}
+
+func TestDeviceBytesAmplification(t *testing.T) {
+	a5, _ := newArray(t, Level5, blockdev.PageSize, 4)
+	// One full stripe: 3 pages logical -> 4 pages physical.
+	if _, err := a5.Submit(0, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: 3 * blockdev.PageSize}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := a5.DeviceBytes(), int64(4*blockdev.PageSize); got != want {
+		t.Fatalf("device bytes = %d, want %d", got, want)
+	}
+}

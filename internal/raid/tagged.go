@@ -1,0 +1,91 @@
+package raid
+
+import (
+	"fmt"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+// WriteTagged performs Submit for a write request and additionally records
+// page tags on the member devices' content stores, keeping parity (or
+// mirror) content consistent. This is the path integrity and reconstruction
+// tests use; performance experiments use plain Submit, which skips content
+// bookkeeping.
+func (a *Array) WriteTagged(at vtime.Time, req blockdev.Request, tags []blockdev.Tag) (vtime.Time, error) {
+	if req.Op != blockdev.OpWrite {
+		return at, fmt.Errorf("%w: WriteTagged requires a write", blockdev.ErrBadRequest)
+	}
+	if int64(len(tags)) != req.Pages() {
+		return at, fmt.Errorf("%w: %d tags for %d pages", blockdev.ErrBadRequest, len(tags), req.Pages())
+	}
+	done, err := a.Submit(at, req)
+	if err != nil {
+		return done, err
+	}
+	first := req.Off / blockdev.PageSize
+	for i, tag := range tags {
+		lpage := first + int64(i)
+		if err := a.cont.WriteTag(lpage, tag); err != nil {
+			return done, err
+		}
+		dev, dpage := a.LocatePage(lpage)
+		if err := a.devs[dev].Content().WriteTag(dpage, tag); err != nil {
+			return done, err
+		}
+		switch a.level {
+		case Level1:
+			if err := a.devs[mirror(dev)].Content().WriteTag(dpage, tag); err != nil {
+				return done, err
+			}
+		case Level4, Level5:
+			if err := a.updateParityTag(lpage, dpage); err != nil {
+				return done, err
+			}
+		}
+	}
+	return done, nil
+}
+
+// updateParityTag recomputes the parity tag covering device page dpage.
+func (a *Array) updateParityTag(lpage, dpage int64) error {
+	stripe := dpage * blockdev.PageSize / a.chunk
+	p := a.parityDev(stripe)
+	var parity blockdev.Tag
+	for d := range a.devs {
+		if d == p {
+			continue
+		}
+		t, err := a.devs[d].Content().ReadTag(dpage)
+		if err != nil {
+			return err
+		}
+		parity = parity.XOR(t)
+	}
+	return a.devs[p].Content().WriteTag(dpage, parity)
+}
+
+// ReconstructTag recomputes the tag stored at device page dpage of member
+// dev from the surviving members — the content-level counterpart of a
+// degraded read.
+func (a *Array) ReconstructTag(dev int, dpage int64) (blockdev.Tag, error) {
+	switch a.level {
+	case Level0:
+		return blockdev.ZeroTag, fmt.Errorf("%w: %v has no redundancy", ErrDegraded, a.level)
+	case Level1:
+		return a.devs[mirror(dev)].Content().ReadTag(dpage)
+	default:
+		var tag blockdev.Tag
+		for d := range a.devs {
+			if d == dev {
+				continue
+			}
+			t, err := a.devs[d].Content().ReadTag(dpage)
+			if err != nil {
+				return blockdev.ZeroTag, err
+			}
+			tag = tag.XOR(t)
+		}
+		return tag, nil
+	}
+}

@@ -1,0 +1,364 @@
+// Package ripqsim implements a RIPQ-like flash cache (Tang et al., FAST'15
+// — reference [50] of the paper), one of the "advanced flash-based caching
+// schemes" the paper plans to compare against SRC (§6).
+//
+// RIPQ approximates a priority queue on flash while writing only in large,
+// erase-group-aligned blocks: the queue is split into K sections, each with
+// an active block absorbing insertions at that priority; a read hit
+// *virtually* promotes an item (bookkeeping only), and the promotion is
+// materialized — the item physically copied to its new section — only when
+// the block holding it is evicted from the queue tail. Writes are
+// write-through: RIPQ targets read-dominated photo serving and does not
+// support write-back (paper Table 5), which is exactly the trade the
+// comparison with SRC probes.
+package ripqsim
+
+import (
+	"fmt"
+
+	"srccache/internal/bench"
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+// Config assembles a cache.
+type Config struct {
+	// Cache is the caching volume (one SSD or a RAID array).
+	Cache blockdev.Device
+	// SSDs lists the physical devices behind Cache for traffic accounting
+	// (defaults to [Cache]).
+	SSDs []blockdev.Device
+	// Primary is the backing store.
+	Primary blockdev.Device
+	// BlockBytes is the flash block size — erase-group aligned (default
+	// 16 MiB, matching the simulated SSDs' erase group at experiment
+	// scale; RIPQ used 256 MB on real drives).
+	BlockBytes int64
+	// Sections is K, the number of insertion points (default 8).
+	Sections int
+	// InsertSection is where misses enter the queue, counted from the
+	// tail (default K/2, RIPQ's balanced setting).
+	InsertSection int
+}
+
+// Validate fills defaults.
+func (c Config) Validate() (Config, error) {
+	if c.Cache == nil || c.Primary == nil {
+		return c, fmt.Errorf("ripqsim: cache and primary devices required")
+	}
+	if len(c.SSDs) == 0 {
+		c.SSDs = []blockdev.Device{c.Cache}
+	}
+	if c.BlockBytes == 0 {
+		c.BlockBytes = 16 << 20
+	}
+	if c.BlockBytes%blockdev.PageSize != 0 || c.BlockBytes <= 0 {
+		return c, fmt.Errorf("ripqsim: block size %d must be a positive page multiple", c.BlockBytes)
+	}
+	if c.Cache.Capacity()%c.BlockBytes != 0 {
+		return c, fmt.Errorf("ripqsim: cache capacity %d not a multiple of block size %d", c.Cache.Capacity(), c.BlockBytes)
+	}
+	if c.Sections == 0 {
+		c.Sections = 8
+	}
+	if c.Sections < 1 {
+		return c, fmt.Errorf("ripqsim: need at least one section")
+	}
+	if blocks := c.Cache.Capacity() / c.BlockBytes; blocks < int64(2*c.Sections) {
+		return c, fmt.Errorf("ripqsim: %d blocks too few for %d sections", blocks, c.Sections)
+	}
+	if c.InsertSection == 0 {
+		c.InsertSection = c.Sections / 2
+	}
+	if c.InsertSection < 0 || c.InsertSection >= c.Sections {
+		return c, fmt.Errorf("ripqsim: insert section %d out of [0,%d)", c.InsertSection, c.Sections)
+	}
+	return c, nil
+}
+
+// item is one cached page.
+type item struct {
+	block int64 // physical block
+	slot  int64 // page slot within the block
+	vsec  int   // virtual section (promotion target)
+}
+
+// block is one flash block's state.
+type block struct {
+	section int   // physical section, -1 when free
+	used    int64 // pages appended
+	valid   int64 // pages still referenced
+	lbas    []int64
+}
+
+// Cache is a RIPQ-like flash cache implementing bench.Cache.
+type Cache struct {
+	cfg        Config
+	blockPages int64
+	numBlocks  int64
+
+	blocks []block
+	free   []int64
+	// queues[s] is the FIFO of full blocks in section s (index 0 =
+	// oldest); actives[s] is the block absorbing section-s insertions.
+	queues  [][]int64
+	actives []int64
+
+	index    map[int64]item
+	counters bench.Counters
+}
+
+var _ bench.Cache = (*Cache)(nil)
+
+// New builds the cache.
+func New(cfg Config) (*Cache, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	numBlocks := cfg.Cache.Capacity() / cfg.BlockBytes
+	c := &Cache{
+		cfg:        cfg,
+		blockPages: cfg.BlockBytes / blockdev.PageSize,
+		numBlocks:  numBlocks,
+		blocks:     make([]block, numBlocks),
+		queues:     make([][]int64, cfg.Sections),
+		actives:    make([]int64, cfg.Sections),
+		index:      make(map[int64]item),
+	}
+	for b := numBlocks - 1; b >= 0; b-- {
+		c.blocks[b].section = -1
+		c.free = append(c.free, b)
+	}
+	for s := range c.actives {
+		c.actives[s] = -1
+	}
+	return c, nil
+}
+
+// Config returns the effective configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Counters implements bench.Cache.
+func (c *Cache) Counters() bench.Counters { return c.counters }
+
+// CacheDevices implements bench.Cache.
+func (c *Cache) CacheDevices() []blockdev.Device { return c.cfg.SSDs }
+
+// CachedPages reports the resident page count.
+func (c *Cache) CachedPages() int { return len(c.index) }
+
+// blockOff is the device offset of slot p in block b.
+func (c *Cache) blockOff(b, p int64) int64 {
+	return b*c.cfg.BlockBytes + p*blockdev.PageSize
+}
+
+// insert appends one page into section s's active block, evicting from the
+// queue tail when no block is free.
+func (c *Cache) insert(at vtime.Time, lba int64, s int) (vtime.Time, error) {
+	ready := at
+	if c.actives[s] < 0 || c.blocks[c.actives[s]].used == c.blockPages {
+		if c.actives[s] >= 0 {
+			c.queues[s] = append(c.queues[s], c.actives[s])
+			c.actives[s] = -1
+		}
+		for len(c.free) == 0 {
+			t, err := c.evictTail(at)
+			if err != nil {
+				return at, err
+			}
+			ready = vtime.Max(ready, t)
+		}
+		b := c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+		c.blocks[b] = block{section: s, lbas: c.blocks[b].lbas[:0]}
+		c.actives[s] = b
+	}
+	b := c.actives[s]
+	blk := &c.blocks[b]
+	slot := blk.used
+	blk.used++
+	blk.valid++
+	blk.lbas = append(blk.lbas, lba)
+	if old, ok := c.index[lba]; ok {
+		c.invalidate(lba, old)
+	}
+	c.index[lba] = item{block: b, slot: slot, vsec: s}
+	done, err := c.cfg.Cache.Submit(ready, blockdev.Request{
+		Op: blockdev.OpWrite, Off: c.blockOff(b, slot), Len: blockdev.PageSize,
+	})
+	if err != nil {
+		return at, err
+	}
+	return done, nil
+}
+
+// invalidate drops a cache copy's accounting.
+func (c *Cache) invalidate(lba int64, it item) {
+	c.blocks[it.block].valid--
+	delete(c.index, lba)
+}
+
+// evictTail reclaims the oldest block of the lowest non-empty section,
+// materializing virtual promotions: items whose virtual section rose above
+// the block's physical section are copied to their target section; the
+// rest are evicted.
+func (c *Cache) evictTail(at vtime.Time) (vtime.Time, error) {
+	victim := int64(-1)
+	section := -1
+	for s := 0; s < c.cfg.Sections; s++ {
+		if len(c.queues[s]) > 0 {
+			victim = c.queues[s][0]
+			c.queues[s] = c.queues[s][1:]
+			section = s
+			break
+		}
+	}
+	if victim < 0 {
+		// Only active blocks remain: seal the lowest one and retry once.
+		for s := 0; s < c.cfg.Sections; s++ {
+			if c.actives[s] >= 0 {
+				c.queues[s] = append(c.queues[s], c.actives[s])
+				c.actives[s] = -1
+				return c.evictTail(at)
+			}
+		}
+		return at, fmt.Errorf("ripqsim: no evictable block")
+	}
+
+	blk := &c.blocks[victim]
+	done := at
+	for slot, lba := range blk.lbas {
+		it, ok := c.index[lba]
+		if !ok || it.block != victim || it.slot != int64(slot) {
+			continue // stale: a newer copy exists elsewhere
+		}
+		if it.vsec > section {
+			// Materialize the promotion: read here, reinsert there.
+			t, err := c.cfg.Cache.Submit(at, blockdev.Request{
+				Op: blockdev.OpRead, Off: c.blockOff(victim, int64(slot)), Len: blockdev.PageSize,
+			})
+			if err != nil {
+				return at, err
+			}
+			c.invalidate(lba, it)
+			t, err = c.insert(t, lba, it.vsec)
+			if err != nil {
+				return at, err
+			}
+			c.counters.GCCopyBytes += blockdev.PageSize
+			done = vtime.Max(done, t)
+			continue
+		}
+		c.invalidate(lba, it)
+	}
+	blk.section = -1
+	blk.used = 0
+	blk.valid = 0
+	blk.lbas = blk.lbas[:0]
+	// Large-block trim keeps the SSD's erase-group accounting aligned —
+	// the property RIPQ is built around.
+	t, err := c.cfg.Cache.Submit(at, blockdev.Request{
+		Op: blockdev.OpTrim, Off: victim * c.cfg.BlockBytes, Len: c.cfg.BlockBytes,
+	})
+	if err != nil {
+		return at, err
+	}
+	c.free = append(c.free, victim)
+	return vtime.Max(done, t), nil
+}
+
+// promote raises an item's virtual section by one — RIPQ's restricted
+// (lazy) promotion on hit.
+func (c *Cache) promote(lba int64) {
+	it, ok := c.index[lba]
+	if !ok {
+		return
+	}
+	if it.vsec < c.cfg.Sections-1 {
+		it.vsec++
+		c.index[lba] = it
+	}
+}
+
+// Submit serves one host request.
+func (c *Cache) Submit(at vtime.Time, req blockdev.Request) (vtime.Time, error) {
+	if err := req.Validate(c.cfg.Primary.Capacity()); err != nil {
+		return at, err
+	}
+	first := req.Off / blockdev.PageSize
+	pages := req.Pages()
+	done := at
+	switch req.Op {
+	case blockdev.OpWrite:
+		c.counters.Writes += pages
+		c.counters.WriteBytes += req.Len
+		// Write-through: primary is updated synchronously; the cached
+		// copy (if any) is refreshed in place in the queue.
+		t, err := c.cfg.Primary.Submit(at, req)
+		if err != nil {
+			return at, err
+		}
+		done = t
+		for p := first; p < first+pages; p++ {
+			if it, ok := c.index[p]; ok {
+				t, err := c.reinsertAt(at, p, it)
+				if err != nil {
+					return done, err
+				}
+				done = vtime.Max(done, t)
+			}
+		}
+	case blockdev.OpRead:
+		c.counters.Reads += pages
+		c.counters.ReadBytes += req.Len
+		for p := first; p < first+pages; p++ {
+			t, err := c.readPage(at, p)
+			if err != nil {
+				return done, err
+			}
+			done = vtime.Max(done, t)
+		}
+	default:
+		return c.cfg.Primary.Submit(at, req)
+	}
+	return done, nil
+}
+
+// reinsertAt refreshes an overwritten cached page at its current virtual
+// section.
+func (c *Cache) reinsertAt(at vtime.Time, lba int64, it item) (vtime.Time, error) {
+	vsec := it.vsec
+	c.invalidate(lba, it)
+	return c.insert(at, lba, vsec)
+}
+
+// readPage serves one page: hit from flash with a virtual promotion, miss
+// from primary with an insertion at the configured point.
+func (c *Cache) readPage(at vtime.Time, lba int64) (vtime.Time, error) {
+	if it, ok := c.index[lba]; ok {
+		c.counters.ReadHits++
+		c.counters.ReadHitBytes += blockdev.PageSize
+		c.promote(lba)
+		return c.cfg.Cache.Submit(at, blockdev.Request{
+			Op: blockdev.OpRead, Off: c.blockOff(it.block, it.slot), Len: blockdev.PageSize,
+		})
+	}
+	done, err := c.cfg.Primary.Submit(at, blockdev.Request{
+		Op: blockdev.OpRead, Off: lba * blockdev.PageSize, Len: blockdev.PageSize,
+	})
+	if err != nil {
+		return at, err
+	}
+	c.counters.FillBytes += blockdev.PageSize
+	if _, err := c.insert(done, lba, c.cfg.InsertSection); err != nil {
+		return done, err
+	}
+	return done, nil
+}
+
+// Flush passes through to primary: all dirty data already lives there
+// (write-through), so only the backing store's ordering matters.
+func (c *Cache) Flush(at vtime.Time) (vtime.Time, error) {
+	return c.cfg.Primary.Flush(at)
+}

@@ -1,0 +1,210 @@
+package ripqsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+const (
+	cacheCap   = 16 << 20
+	primCap    = 256 << 20
+	blockBytes = 1 << 20
+)
+
+type env struct {
+	cache *Cache
+	dev   *blockdev.MemDevice
+	prim  *blockdev.MemDevice
+	at    vtime.Time
+	t     *testing.T
+}
+
+func newEnv(t *testing.T, mutate func(*Config)) *env {
+	t.Helper()
+	dev := blockdev.NewMemDevice(cacheCap, 10*vtime.Microsecond)
+	prim := blockdev.NewMemDevice(primCap, vtime.Millisecond)
+	cfg := Config{Cache: dev, Primary: prim, BlockBytes: blockBytes}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{cache: c, dev: dev, prim: prim, t: t}
+}
+
+func (e *env) submit(op blockdev.Op, lba, pages int64) vtime.Duration {
+	e.t.Helper()
+	done, err := e.cache.Submit(e.at, blockdev.Request{Op: op, Off: lba * blockdev.PageSize, Len: pages * blockdev.PageSize})
+	if err != nil {
+		e.t.Fatalf("%v lba %d: %v", op, lba, err)
+	}
+	lat := done.Sub(e.at)
+	e.at = vtime.Max(e.at, done)
+	return lat
+}
+
+func TestValidation(t *testing.T) {
+	dev := blockdev.NewMemDevice(cacheCap, 0)
+	prim := blockdev.NewMemDevice(primCap, 0)
+	if _, err := New(Config{Primary: prim}); err == nil {
+		t.Fatal("accepted missing cache")
+	}
+	if _, err := New(Config{Cache: dev, Primary: prim, BlockBytes: 100}); err == nil {
+		t.Fatal("accepted unaligned block")
+	}
+	if _, err := New(Config{Cache: dev, Primary: prim, BlockBytes: cacheCap, Sections: 8}); err == nil {
+		t.Fatal("accepted too few blocks for sections")
+	}
+	if _, err := New(Config{Cache: dev, Primary: prim, BlockBytes: blockBytes, InsertSection: 99}); err == nil {
+		t.Fatal("accepted bad insert section")
+	}
+	c, err := New(Config{Cache: dev, Primary: prim, BlockBytes: blockBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Config().Sections != 8 || c.Config().InsertSection != 4 {
+		t.Fatalf("defaults %+v", c.Config())
+	}
+}
+
+func TestMissFillsThenHits(t *testing.T) {
+	e := newEnv(t, nil)
+	if lat := e.submit(blockdev.OpRead, 7, 1); lat < vtime.Millisecond {
+		t.Fatalf("miss latency %v", lat)
+	}
+	if lat := e.submit(blockdev.OpRead, 7, 1); lat >= vtime.Millisecond {
+		t.Fatalf("hit latency %v", lat)
+	}
+	ctr := e.cache.Counters()
+	if ctr.Reads != 2 || ctr.ReadHits != 1 {
+		t.Fatalf("counters %+v", ctr)
+	}
+}
+
+func TestWriteThroughUpdatesPrimary(t *testing.T) {
+	e := newEnv(t, nil)
+	if lat := e.submit(blockdev.OpWrite, 3, 1); lat < vtime.Millisecond {
+		t.Fatalf("write-through latency %v did not include primary", lat)
+	}
+	if e.prim.Stats().WriteOps != 1 {
+		t.Fatal("primary not written")
+	}
+	// The flush has nothing cache-side to do.
+	if _, err := e.cache.Flush(e.at); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertionsAreSequentialWithinBlock(t *testing.T) {
+	e := newEnv(t, nil)
+	var offs []int64
+	for lba := int64(0); lba < 8; lba++ {
+		e.submit(blockdev.OpRead, lba, 1) // misses insert at one section
+		it := e.cache.index[lba]
+		offs = append(offs, e.cache.blockOff(it.block, it.slot))
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] != offs[i-1]+blockdev.PageSize {
+			t.Fatalf("insertions not sequential: %v", offs)
+		}
+	}
+}
+
+func TestEvictionPrefersLowSections(t *testing.T) {
+	e := newEnv(t, nil)
+	pages := e.cache.numBlocks * e.cache.blockPages
+	// Fill the cache well past capacity with misses: evictions must occur
+	// and the cache must stay at capacity.
+	for lba := int64(0); lba < 2*pages; lba++ {
+		e.submit(blockdev.OpRead, lba, 1)
+	}
+	if int64(e.cache.CachedPages()) > pages {
+		t.Fatalf("resident %d pages exceeds capacity %d", e.cache.CachedPages(), pages)
+	}
+	if len(e.cache.free) != 0 && e.cache.CachedPages() == 0 {
+		t.Fatal("nothing cached after fill")
+	}
+}
+
+func TestPromotionProtectsHotData(t *testing.T) {
+	e := newEnv(t, nil)
+	pages := e.cache.numBlocks * e.cache.blockPages
+	// A small hot set read repeatedly while a cold scan churns the cache.
+	hot := int64(64)
+	rng := rand.New(rand.NewSource(1))
+	for i := int64(0); i < 4*pages; i++ {
+		if rng.Float64() < 0.3 {
+			e.submit(blockdev.OpRead, rng.Int63n(hot), 1)
+		} else {
+			e.submit(blockdev.OpRead, hot+i%(3*pages), 1)
+		}
+	}
+	// Most of the hot set must have survived the scan.
+	resident := 0
+	for lba := int64(0); lba < hot; lba++ {
+		if _, ok := e.cache.index[lba]; ok {
+			resident++
+		}
+	}
+	if resident < int(hot)/2 {
+		t.Fatalf("only %d of %d hot pages survived the scan", resident, hot)
+	}
+	if e.cache.Counters().GCCopyBytes == 0 {
+		t.Fatal("promotions never materialized")
+	}
+}
+
+func TestOverwriteRefreshesCachedCopy(t *testing.T) {
+	e := newEnv(t, nil)
+	e.submit(blockdev.OpRead, 5, 1)
+	first := e.cache.index[5]
+	e.submit(blockdev.OpWrite, 5, 1)
+	second, ok := e.cache.index[5]
+	if !ok {
+		t.Fatal("overwrite dropped the cached copy")
+	}
+	if first == second {
+		t.Fatal("overwrite did not relocate the log-structured copy")
+	}
+}
+
+func TestEvictionTrimsWholeBlocks(t *testing.T) {
+	e := newEnv(t, nil)
+	pages := e.cache.numBlocks * e.cache.blockPages
+	for lba := int64(0); lba < pages+e.cache.blockPages; lba++ {
+		e.submit(blockdev.OpRead, lba, 1)
+	}
+	if e.dev.Stats().TrimOps == 0 {
+		t.Fatal("eviction never trimmed")
+	}
+	if e.dev.Stats().TrimBytes%blockBytes != 0 {
+		t.Fatalf("trim bytes %d not block-aligned", e.dev.Stats().TrimBytes)
+	}
+}
+
+func TestInsertSectionBounds(t *testing.T) {
+	e := newEnv(t, func(c *Config) { c.InsertSection = 7 }) // top section
+	e.submit(blockdev.OpRead, 1, 1)
+	it := e.cache.index[1]
+	if it.vsec != 7 {
+		t.Fatalf("inserted at section %d", it.vsec)
+	}
+	// Promotion at the top section saturates.
+	e.submit(blockdev.OpRead, 1, 1)
+	if e.cache.index[1].vsec != 7 {
+		t.Fatal("promotion overflowed the top section")
+	}
+}
+
+func TestTrimPassesThrough(t *testing.T) {
+	e := newEnv(t, nil)
+	e.submit(blockdev.OpTrim, 0, 4)
+	if e.prim.Stats().TrimOps != 1 {
+		t.Fatal("trim not forwarded to primary")
+	}
+}

@@ -1,0 +1,71 @@
+package src
+
+import "srccache/internal/blockdev"
+
+// bufSlot is one page waiting in a segment buffer.
+type bufSlot struct {
+	lba   int64
+	tag   blockdev.Tag // content tag (TrackContent only)
+	valid bool
+}
+
+// segBuffer is an in-RAM segment buffer (paper §4.1): SRC keeps one for
+// dirty data and one for clean data. Appending past capacity is the
+// caller's signal to write the buffer out as a segment.
+type segBuffer struct {
+	slots []bufSlot
+	live  int
+}
+
+func newSegBuffer(capacity int64) *segBuffer {
+	return &segBuffer{slots: make([]bufSlot, 0, capacity)}
+}
+
+// Cap reports the buffer capacity in pages.
+func (b *segBuffer) Cap() int { return cap(b.slots) }
+
+// Len reports appended slots including invalidated ones.
+func (b *segBuffer) Len() int { return len(b.slots) }
+
+// Live reports slots still valid.
+func (b *segBuffer) Live() int { return b.live }
+
+// Full reports whether the buffer has no room for another append.
+func (b *segBuffer) Full() bool { return len(b.slots) == cap(b.slots) }
+
+// Empty reports whether nothing (valid) is buffered.
+func (b *segBuffer) Empty() bool { return b.live == 0 }
+
+// Append adds a page and returns its slot index. The caller must check
+// Full first.
+func (b *segBuffer) Append(lba int64, tag blockdev.Tag) int {
+	b.slots = append(b.slots, bufSlot{lba: lba, tag: tag, valid: true})
+	b.live++
+	return len(b.slots) - 1
+}
+
+// Invalidate kills a previously appended slot (its page was overwritten or
+// superseded before the buffer was written out).
+func (b *segBuffer) Invalidate(i int) {
+	if i >= 0 && i < len(b.slots) && b.slots[i].valid {
+		b.slots[i].valid = false
+		b.live--
+	}
+}
+
+// Slot returns slot i.
+func (b *segBuffer) Slot(i int) bufSlot { return b.slots[i] }
+
+// SetTag updates the content tag of a live slot (rewrite of a buffered
+// dirty page).
+func (b *segBuffer) SetTag(i int, tag blockdev.Tag) {
+	if i >= 0 && i < len(b.slots) {
+		b.slots[i].tag = tag
+	}
+}
+
+// Reset empties the buffer, retaining capacity.
+func (b *segBuffer) Reset() {
+	b.slots = b.slots[:0]
+	b.live = 0
+}

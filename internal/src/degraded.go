@@ -1,0 +1,223 @@
+package src
+
+import (
+	"errors"
+	"fmt"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+// Failure handling (paper §4.1, §4.3): when an SSD fails, parity-protected
+// segments are served by on-the-fly reconstruction from the surviving
+// columns; parityless clean segments (NPC mode) lose their data and the
+// cache falls back to primary storage, a temporary read-performance
+// degradation rather than a correctness problem.
+
+// degradedRead serves a read run whose column device has failed. The run
+// lies within a single segment column (the mapping layout guarantees it).
+func (c *Cache) degradedRead(at vtime.Time, col int, off, n, firstLBA int64) (vtime.Time, error) {
+	sg := off / c.cfg.EraseGroupSize
+	seg := (off % c.cfg.EraseGroupSize) / c.cfg.SegmentColumn
+	parity := int(c.groups[sg].segParity[seg])
+	pages := n / blockdev.PageSize
+
+	if parity < 0 {
+		// Parityless segment: dirty data would be gone for good; clean
+		// data is re-fetched from primary storage.
+		for p := firstLBA; p < firstLBA+pages; p++ {
+			e, ok := c.mapping[p]
+			if !ok {
+				continue
+			}
+			if e.state == stateSSDDirty {
+				return at, fmt.Errorf("%w: dirty page %d on failed ssd %d in parityless segment", ErrDataLoss, p, col)
+			}
+			c.dropPage(p, e)
+		}
+		return c.fillFromPrimary(at, firstLBA, pages)
+	}
+
+	return c.reconstructColumns(at, col, off, n)
+}
+
+// reconstructColumns charges the reads that rebuild a lost column range
+// from every surviving column (data plus parity), returning the last
+// completion.
+func (c *Cache) reconstructColumns(at vtime.Time, col int, off, n int64) (vtime.Time, error) {
+	done := at
+	for other := 0; other < c.lay.m; other++ {
+		if other == col {
+			continue
+		}
+		t, err := c.cfg.SSDs[other].Submit(at, blockdev.Request{Op: blockdev.OpRead, Off: off, Len: n})
+		if err != nil {
+			if errors.Is(err, blockdev.ErrDeviceFailed) {
+				return at, fmt.Errorf("%w: second ssd failure (%d and %d)", ErrDataLoss, col, other)
+			}
+			return at, err
+		}
+		done = vtime.Max(done, t)
+	}
+	return done, nil
+}
+
+// ReconstructTag recomputes the content tag of a lost page from the
+// surviving columns' tags — the content-level counterpart of degradedRead.
+// Requires TrackContent.
+func (c *Cache) ReconstructTag(loc int64) (blockdev.Tag, error) {
+	sg, seg, col, pic := c.lay.split(loc)
+	if int(c.groups[sg].segParity[seg]) < 0 {
+		return blockdev.ZeroTag, fmt.Errorf("%w: location %d has no parity", ErrDataLoss, loc)
+	}
+	var tag blockdev.Tag
+	for other := 0; other < c.lay.m; other++ {
+		if other == col {
+			continue
+		}
+		otherLoc := c.lay.loc(sg, seg, other, pic)
+		_, off := c.lay.devOffset(c.cfg, otherLoc)
+		t, err := c.cfg.SSDs[other].Content().ReadTag(off / blockdev.PageSize)
+		if err != nil {
+			return blockdev.ZeroTag, err
+		}
+		tag = tag.XOR(t)
+	}
+	return tag, nil
+}
+
+// RebuildSSD reconstructs the cache contents of a failed-and-replaced SSD:
+// parity-protected segments are rebuilt from the survivors; data of
+// parityless clean segments is dropped from the mapping (it reloads from
+// primary on demand). The paper lists fast recovery and drive scaling as
+// SRC goals; this is the recovery half.
+func (c *Cache) RebuildSSD(at vtime.Time, col int) (vtime.Time, error) {
+	if col < 0 || col >= c.lay.m {
+		return at, fmt.Errorf("src: rebuild of unknown ssd %d", col)
+	}
+	cursor := at
+	// Superblock group first.
+	if _, err := c.cfg.SSDs[col].Submit(cursor, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: blockdev.PageSize}); err != nil {
+		return at, err
+	}
+	for sg := int64(1); sg < c.lay.numSG; sg++ {
+		g := &c.groups[sg]
+		if g.state != groupClosed && g.state != groupActive {
+			continue
+		}
+		segs := c.lay.segsPerSG
+		if g.state == groupActive {
+			segs = c.nextSeg
+		}
+		for seg := int64(0); seg < segs; seg++ {
+			parity := int(g.segParity[seg])
+			colBase := c.lay.colOffset(c.cfg, sg, seg)
+			if parity < 0 {
+				// Parityless clean segment: drop this column's pages.
+				for pic := int64(1); pic <= c.lay.payloadPages; pic++ {
+					loc := c.lay.loc(sg, seg, col, pic)
+					s := c.lay.localSlot(loc)
+					if g.slots[s] == slotFree {
+						continue
+					}
+					lba, _ := unpackSlot(g.slots[s])
+					if e, ok := c.mapping[lba]; ok && e.loc == loc {
+						c.dropPage(lba, e)
+					}
+				}
+				continue
+			}
+			// Read the surviving columns, write the reconstructed one.
+			readDone := cursor
+			for other := 0; other < c.lay.m; other++ {
+				if other == col {
+					continue
+				}
+				t, err := c.cfg.SSDs[other].Submit(cursor, blockdev.Request{
+					Op: blockdev.OpRead, Off: colBase, Len: c.cfg.SegmentColumn,
+				})
+				if err != nil {
+					return at, fmt.Errorf("rebuild source %d: %w", other, err)
+				}
+				readDone = vtime.Max(readDone, t)
+			}
+			t, err := c.cfg.SSDs[col].Submit(readDone, blockdev.Request{
+				Op: blockdev.OpWrite, Off: colBase, Len: c.cfg.SegmentColumn,
+			})
+			if err != nil {
+				return at, fmt.Errorf("rebuild target: %w", err)
+			}
+			cursor = t
+			if c.cfg.TrackContent {
+				if err := c.rebuildColumnContent(sg, seg, col); err != nil {
+					return at, err
+				}
+			}
+		}
+	}
+	return cursor, nil
+}
+
+// rebuildColumnContent restores the tags and summary blobs of one rebuilt
+// column from the survivors.
+func (c *Cache) rebuildColumnContent(sg, seg int64, col int) error {
+	cont := c.cfg.SSDs[col].Content()
+	colBase := c.lay.colOffset(c.cfg, sg, seg)
+	basePage := colBase / blockdev.PageSize
+	g := &c.groups[sg]
+	var entries []summaryEntry
+	for pic := int64(1); pic <= c.lay.payloadPages; pic++ {
+		loc := c.lay.loc(sg, seg, col, pic)
+		tag, err := c.ReconstructTag(loc)
+		if err != nil {
+			return err
+		}
+		if err := cont.WriteTag(basePage+pic, tag); err != nil {
+			return err
+		}
+		s := c.lay.localSlot(loc)
+		if g.slots[s] != slotFree {
+			lba, dirty := unpackSlot(g.slots[s])
+			var version uint64
+			if c.versions != nil {
+				version = c.versions[lba]
+			}
+			entries = append(entries, summaryEntry{lba: lba, version: version, dirty: dirty})
+		}
+	}
+	// Rebuild the summary blobs from a surviving column's generation.
+	gen, err := c.survivingGeneration(sg, seg, col)
+	if err != nil {
+		return err
+	}
+	sum := &summary{
+		kind: kindMS, gen: gen, sg: sg, seg: seg,
+		col: uint8(col), parityCol: g.segParity[seg], entries: entries,
+	}
+	if err := cont.WriteBlob(basePage, sum.marshal()); err != nil {
+		return err
+	}
+	sum.kind = kindME
+	return cont.WriteBlob(basePage+c.lay.pagesPerCol-1, sum.marshal())
+}
+
+// survivingGeneration reads the segment generation from any surviving
+// column's MS block.
+func (c *Cache) survivingGeneration(sg, seg int64, failedCol int) (int64, error) {
+	basePage := c.lay.colOffset(c.cfg, sg, seg) / blockdev.PageSize
+	for other := 0; other < c.lay.m; other++ {
+		if other == failedCol {
+			continue
+		}
+		blob, err := c.cfg.SSDs[other].Content().ReadBlob(basePage)
+		if err != nil || blob == nil {
+			continue
+		}
+		s, err := parseSummary(blob)
+		if err != nil {
+			continue
+		}
+		return s.gen, nil
+	}
+	return 0, fmt.Errorf("%w: no surviving summary for group %d segment %d", ErrBadSummary, sg, seg)
+}

@@ -1,0 +1,302 @@
+package src
+
+import (
+	"errors"
+	"fmt"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+// Free-space reclamation (paper §4.2). SRC reclaims whole Segment Groups.
+// S2D destages dirty data to primary storage and drops clean data; Sel-GC
+// instead copies dirty data and hot clean data back into the log (S2S)
+// while utilization is below U_MAX, preserving cache contents at the price
+// of extra SSD traffic.
+
+// liveEntry is one valid page gathered from a victim group.
+type liveEntry struct {
+	lba   int64
+	loc   int64
+	dirty bool
+	read  bool // staged from SSD (dirty always; hot clean under S2S)
+	lost  bool // unreadable: its column failed and the segment is parityless
+	tag   blockdev.Tag
+}
+
+// gc reclaims groups until at least two are free.
+func (c *Cache) gc(at vtime.Time) error {
+	c.inGC = true
+	defer func() { c.inGC = false }()
+	for rounds := 0; len(c.freeSGs) < 2; rounds++ {
+		if rounds > 2*int(c.lay.numSG) {
+			return fmt.Errorf("%w: no progress after %d rounds", ErrNoFreeGroups, rounds)
+		}
+		victim := c.pickVictim()
+		if victim < 0 {
+			if len(c.freeSGs) > 0 {
+				return nil
+			}
+			return ErrNoFreeGroups
+		}
+		g := &c.groups[victim]
+		// Sel-GC copies while utilization is below U_MAX; S2D otherwise.
+		// A fully live victim is always destaged: copying it would make no
+		// space.
+		copyMode := c.cfg.GC == SelGC && c.Utilization() <= c.cfg.UMax && g.valid < g.paycap
+		live, readDone, err := c.evacuate(at, victim, copyMode)
+		if err != nil {
+			return err
+		}
+		if err := c.reclaim(at, victim); err != nil {
+			return err
+		}
+		if copyMode {
+			err = c.reinsert(readDone, live)
+		} else {
+			err = c.destage(readDone, live)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickVictim chooses the group to reclaim: the oldest-filled group under
+// FIFO, the least-utilized under Greedy, or the best age-weighted
+// space-per-copy trade under CostBenefit.
+func (c *Cache) pickVictim() int64 {
+	if len(c.fifo) == 0 {
+		return -1
+	}
+	switch c.cfg.Victim {
+	case Greedy:
+		best := c.fifo[0]
+		for _, sg := range c.fifo[1:] {
+			if c.groups[sg].valid < c.groups[best].valid {
+				best = sg
+			}
+		}
+		return best
+	case CostBenefit:
+		best, bestScore := int64(-1), -1.0
+		for _, sg := range c.fifo {
+			if score := c.costBenefit(sg); score > bestScore {
+				best, bestScore = sg, score
+			}
+		}
+		return best
+	default: // FIFO
+		return c.fifo[0]
+	}
+}
+
+// costBenefit scores a group LFS-style: freed space per copy cost, scaled
+// by age (older groups are more likely done being invalidated).
+func (c *Cache) costBenefit(sg int64) float64 {
+	g := &c.groups[sg]
+	if g.paycap == 0 {
+		return 0
+	}
+	u := float64(g.valid) / float64(g.paycap)
+	age := float64(c.seqCtr - g.seq + 1)
+	return age * (1 - u) / (1 + u)
+}
+
+// evacuate gathers every valid page of the victim into RAM, charging the
+// SSD reads needed to stage the pages that will move: dirty pages always
+// (they are either destaged or copied), and hot clean pages under S2S copy
+// mode. It clears the victim's slots and mapping entries, so the group can
+// be reclaimed before the pages are rewritten.
+func (c *Cache) evacuate(at vtime.Time, victim int64, copyMode bool) ([]liveEntry, vtime.Time, error) {
+	g := &c.groups[victim]
+	live := make([]liveEntry, 0, g.valid)
+	readDone := at
+
+	// Pass 1: gather entries in location order and clear the slots.
+	base := victim * c.lay.slotsPerSG()
+	for s := int64(0); s < c.lay.slotsPerSG(); s++ {
+		packed := g.slots[s]
+		if packed == slotFree {
+			continue
+		}
+		lba, dirty := unpackSlot(packed)
+		loc := base + s
+		e := liveEntry{
+			lba: lba, loc: loc, dirty: dirty,
+			read: dirty || (copyMode && c.hot.Get(lba)),
+		}
+		if c.cfg.TrackContent {
+			col, off := c.lay.devOffset(c.cfg, loc)
+			t, err := c.cfg.SSDs[col].Content().ReadTag(off / blockdev.PageSize)
+			if err != nil {
+				return nil, readDone, err
+			}
+			e.tag = t
+		}
+		live = append(live, e)
+		g.slots[s] = slotFree
+		g.valid--
+		c.totalValid--
+		delete(c.mapping, lba)
+	}
+
+	// Pass 2: stage the pages that move, coalescing location-contiguous
+	// reads; a failed column is reconstructed from parity, or — in a
+	// parityless segment — its pages are marked lost (clean data only;
+	// dirty pages in parityless segments exist only under RAID-0, where
+	// a failure is fatal anyway).
+	run := make([]int, 0, 16)
+	flushRun := func() error {
+		if len(run) == 0 {
+			return nil
+		}
+		first := live[run[0]].loc
+		n := int64(len(run))
+		col, off := c.lay.devOffset(c.cfg, first)
+		t, err := c.cfg.SSDs[col].Submit(at, blockdev.Request{
+			Op: blockdev.OpRead, Off: off, Len: n * blockdev.PageSize,
+		})
+		if err != nil && isDeviceFailed(err) {
+			sg, seg, _, _ := c.lay.split(first)
+			if c.groups[sg].segParity[seg] >= 0 {
+				t, err = c.reconstructColumns(at, col, off, n*blockdev.PageSize)
+			} else {
+				for _, i := range run {
+					if live[i].dirty {
+						return fmt.Errorf("%w: dirty page %d on failed ssd %d in parityless segment",
+							ErrDataLoss, live[i].lba, col)
+					}
+					live[i].lost = true
+				}
+				run = run[:0]
+				return nil
+			}
+		}
+		if err != nil {
+			return err
+		}
+		readDone = vtime.Max(readDone, t)
+		run = run[:0]
+		return nil
+	}
+	for i := range live {
+		if !live[i].read {
+			continue
+		}
+		if len(run) > 0 {
+			prev := live[run[len(run)-1]].loc
+			_, _, prevCol, _ := c.lay.split(prev)
+			_, _, col, _ := c.lay.split(live[i].loc)
+			if col != prevCol || live[i].loc != prev+1 {
+				if err := flushRun(); err != nil {
+					return nil, readDone, err
+				}
+			}
+		}
+		run = append(run, i)
+	}
+	if err := flushRun(); err != nil {
+		return nil, readDone, err
+	}
+	// Lost entries cannot be copied or destaged.
+	kept := live[:0]
+	for _, e := range live {
+		if !e.lost {
+			kept = append(kept, e)
+		}
+	}
+	return kept, readDone, nil
+}
+
+// reclaim trims the victim's region on every SSD and returns it to the free
+// pool.
+func (c *Cache) reclaim(at vtime.Time, victim int64) error {
+	g := &c.groups[victim]
+	if g.valid != 0 {
+		return fmt.Errorf("src: reclaiming group %d with %d valid pages", victim, g.valid)
+	}
+	for _, dev := range c.cfg.SSDs {
+		_, err := dev.Submit(at, blockdev.Request{
+			Op:  blockdev.OpTrim,
+			Off: victim * c.cfg.EraseGroupSize,
+			Len: c.cfg.EraseGroupSize,
+		})
+		if err != nil && !isDeviceFailed(err) {
+			return err
+		}
+	}
+	c.totalPaycap -= g.paycap
+	g.paycap = 0
+	g.state = groupFree
+	for i, sg := range c.fifo {
+		if sg == victim {
+			c.fifo = append(c.fifo[:i], c.fifo[i+1:]...)
+			break
+		}
+	}
+	c.freeSGs = append(c.freeSGs, victim)
+	return nil
+}
+
+// reinsert implements the S2S path of Sel-GC: dirty pages re-enter the
+// dirty segment buffer, hot clean pages the clean buffer (with their hot
+// bit consumed — second chance), and cold clean pages are dropped.
+func (c *Cache) reinsert(at vtime.Time, live []liveEntry) error {
+	for _, e := range live {
+		if !e.dirty {
+			if !c.hot.Get(e.lba) {
+				continue // cold clean data: discarding it costs nothing
+			}
+			c.hot.Clear(e.lba)
+			if _, ok := c.mapping[e.lba]; ok {
+				continue // superseded while gathering
+			}
+			slot := c.cleanBuf.Append(e.lba, e.tag)
+			c.mapping[e.lba] = entry{state: stateBufClean, loc: int64(slot)}
+			c.counters.GCCopyBytes += blockdev.PageSize
+			if c.cleanBuf.Full() {
+				if _, err := c.writeSegment(at, c.cleanBuf, false); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if _, ok := c.mapping[e.lba]; ok {
+			continue
+		}
+		// In SeparateGCBuffer mode, aged dirty data (GC survivors) forms
+		// its own segments instead of mixing with fresh host writes.
+		buf, state := c.dirtyBuf, stateBufDirty
+		if c.gcBuf != nil {
+			buf, state = c.gcBuf, stateBufGC
+		}
+		slot := buf.Append(e.lba, e.tag)
+		c.mapping[e.lba] = entry{state: state, loc: int64(slot)}
+		c.counters.GCCopyBytes += blockdev.PageSize
+		if buf.Full() {
+			if _, err := c.writeSegment(at, buf, true); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// destage implements S2D: dirty pages are written back to primary storage
+// (coalesced into LBA-contiguous runs) and clean pages are simply dropped.
+func (c *Cache) destage(readDone vtime.Time, live []liveEntry) error {
+	var lbas []int64
+	for _, e := range live {
+		if e.dirty {
+			lbas = append(lbas, e.lba)
+		}
+	}
+	_, err := c.destageRuns(readDone, lbas)
+	return err
+}
+
+func isDeviceFailed(err error) bool {
+	return errors.Is(err, blockdev.ErrDeviceFailed)
+}

@@ -1,0 +1,295 @@
+package src
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+// Crash recovery (paper §4.1, "Failure Handling"): after a power failure,
+// SRC scans the on-SSD metadata blocks. A segment column whose MS and ME
+// generation numbers match is consistent; mismatched or missing summaries
+// mean a torn segment, which is discarded. Consistent summaries are applied
+// in generation order to rebuild the in-memory mapping table. Requires
+// TrackContent (the summaries live in the device content stores).
+
+// recoveredSeg groups the consistent column summaries of one segment.
+type recoveredSeg struct {
+	gen     int64
+	sg, seg int64
+	parity  int8
+	cols    []*summary
+}
+
+// Recover rebuilds the cache's in-memory state from the SSDs' durable
+// metadata, as after a host crash or power failure. Unflushed segments
+// (whose summaries were lost with the devices' volatile caches) are
+// discarded — the data-loss window the flush policy bounds.
+//
+// It returns the number of segments recovered.
+func (c *Cache) Recover() (int, error) {
+	if !c.cfg.TrackContent {
+		return 0, errors.New("src: recovery requires TrackContent")
+	}
+	if err := c.checkSuperblock(); err != nil {
+		return 0, err
+	}
+
+	// Reset in-memory state.
+	c.mapping = make(map[int64]entry)
+	c.versions = make(map[int64]uint64)
+	c.dirtyBuf.Reset()
+	c.cleanBuf.Reset()
+	if c.gcBuf != nil {
+		c.gcBuf.Reset()
+	}
+	c.hot.Reset()
+	c.active = -1
+	c.nextSeg = 0
+	c.fifo = nil
+	c.freeSGs = nil
+	c.totalValid = 0
+	c.totalPaycap = 0
+	for sg := int64(1); sg < c.lay.numSG; sg++ {
+		g := &c.groups[sg]
+		g.state = groupFree
+		g.valid = 0
+		g.paycap = 0
+		if g.slots != nil {
+			for i := range g.slots {
+				g.slots[i] = slotFree
+			}
+			for i := range g.segParity {
+				g.segParity[i] = -1
+			}
+		}
+	}
+
+	segs, err := c.scanSummaries()
+	if err != nil {
+		return 0, err
+	}
+	// Apply in generation order so the newest copy of each LBA wins.
+	sort.Slice(segs, func(i, j int) bool { return segs[i].gen < segs[j].gen })
+	maxGen := int64(0)
+	for _, rs := range segs {
+		c.applySegment(rs)
+		if rs.gen > maxGen {
+			maxGen = rs.gen
+		}
+	}
+	c.segGen = maxGen
+	c.seqCtr = 0
+
+	// Groups with recovered segments are closed (ordered by their oldest
+	// generation for FIFO); the rest are free.
+	firstGen := make(map[int64]int64)
+	for _, rs := range segs {
+		if g, ok := firstGen[rs.sg]; !ok || rs.gen < g {
+			firstGen[rs.sg] = rs.gen
+		}
+	}
+	var used []int64
+	for sg := range firstGen {
+		used = append(used, sg)
+	}
+	sort.Slice(used, func(i, j int) bool { return firstGen[used[i]] < firstGen[used[j]] })
+	for _, sg := range used {
+		c.groups[sg].state = groupClosed
+		c.seqCtr++
+		c.groups[sg].seq = c.seqCtr
+		c.fifo = append(c.fifo, sg)
+	}
+	for sg := int64(1); sg < c.lay.numSG; sg++ {
+		if c.groups[sg].state == groupFree {
+			c.freeSGs = append(c.freeSGs, sg)
+		}
+	}
+	return len(segs), nil
+}
+
+// checkSuperblock validates the instance superblock against the
+// configuration.
+func (c *Cache) checkSuperblock() error {
+	blob, err := c.cfg.SSDs[0].Content().ReadBlob(0)
+	if err != nil {
+		return err
+	}
+	if blob == nil {
+		return fmt.Errorf("%w: missing", ErrBadSuperblock)
+	}
+	sb, err := parseSuperblock(blob)
+	if err != nil {
+		return err
+	}
+	if int(sb.ssds) != c.lay.m || sb.eraseGroupSize != c.cfg.EraseGroupSize ||
+		sb.segmentColumn != c.cfg.SegmentColumn || sb.numSG != c.lay.numSG {
+		return fmt.Errorf("%w: geometry mismatch", ErrBadSuperblock)
+	}
+	return nil
+}
+
+// scanSummaries walks every potential segment position and collects the
+// column summaries whose MS/ME generations match.
+func (c *Cache) scanSummaries() ([]recoveredSeg, error) {
+	var out []recoveredSeg
+	for sg := int64(1); sg < c.lay.numSG; sg++ {
+		for seg := int64(0); seg < c.lay.segsPerSG; seg++ {
+			basePage := c.lay.colOffset(c.cfg, sg, seg) / blockdev.PageSize
+			var rs *recoveredSeg
+			for col := 0; col < c.lay.m; col++ {
+				cont := c.cfg.SSDs[col].Content()
+				msBlob, err := cont.ReadBlob(basePage)
+				if err != nil || msBlob == nil {
+					continue
+				}
+				ms, err := parseSummary(msBlob)
+				if err != nil {
+					continue // torn or corrupt MS: skip the column
+				}
+				meBlob, err := cont.ReadBlob(basePage + c.lay.pagesPerCol - 1)
+				if err != nil || meBlob == nil {
+					continue
+				}
+				me, err := parseSummary(meBlob)
+				if err != nil || me.gen != ms.gen {
+					continue // generation mismatch: torn segment column
+				}
+				if ms.sg != sg || ms.seg != seg || int(ms.col) != col {
+					continue // stale summary from an address mix-up
+				}
+				if rs == nil {
+					rs = &recoveredSeg{gen: ms.gen, sg: sg, seg: seg, parity: ms.parityCol}
+				}
+				if ms.gen == rs.gen {
+					rs.cols = append(rs.cols, ms)
+				}
+			}
+			if rs != nil && len(rs.cols) > 0 {
+				out = append(out, *rs)
+			}
+		}
+	}
+	return out, nil
+}
+
+// applySegment replays one recovered segment into the mapping.
+func (c *Cache) applySegment(rs recoveredSeg) {
+	g := &c.groups[rs.sg]
+	g.ensureTablesIfNeeded(c.lay)
+	g.segParity[rs.seg] = rs.parity
+	// Capacity: payload columns of this segment kind.
+	nPayload := c.lay.m
+	if rs.parity >= 0 {
+		nPayload--
+	}
+	capacity := int64(nPayload) * c.lay.payloadPages
+	g.paycap += capacity
+	c.totalPaycap += capacity
+
+	for _, sum := range rs.cols {
+		for i, e := range sum.entries {
+			loc := c.lay.loc(rs.sg, rs.seg, int(sum.col), int64(i)+1)
+			if old, ok := c.mapping[e.lba]; ok {
+				// A newer generation supersedes; generations are applied
+				// ascending, so the existing entry is older.
+				c.invalidateSSD(old.loc)
+			}
+			c.mapping[e.lba] = entry{state: ssdState(e.dirty), loc: loc}
+			g.slots[c.lay.localSlot(loc)] = packSlot(e.lba, e.dirty)
+			g.valid++
+			c.totalValid++
+			if e.version > c.versions[e.lba] {
+				c.versions[e.lba] = e.version
+			}
+		}
+	}
+}
+
+func (g *group) ensureTablesIfNeeded(l layout) {
+	if g.slots == nil {
+		g.slots = make([]int64, l.slotsPerSG())
+		for i := range g.slots {
+			g.slots[i] = slotFree
+		}
+		g.segParity = make([]int8, l.segsPerSG)
+		for i := range g.segParity {
+			g.segParity[i] = -1
+		}
+	}
+}
+
+// ReadCheck reads one cached page and verifies its content tag against the
+// expected value (paper §4.1: "SRC compares the original and calculated
+// checksums when reading data"). A mismatch — silent corruption — is
+// repaired from parity when the segment has it, or by re-fetching from
+// primary storage for clean data. It returns the verified tag. Requires
+// TrackContent.
+func (c *Cache) ReadCheck(at vtime.Time, lba int64) (blockdev.Tag, vtime.Time, error) {
+	if !c.cfg.TrackContent {
+		return blockdev.ZeroTag, at, errors.New("src: ReadCheck requires TrackContent")
+	}
+	e, ok := c.mapping[lba]
+	if !ok {
+		return blockdev.ZeroTag, at, fmt.Errorf("src: page %d not cached", lba)
+	}
+	want := c.tagFor(lba)
+	if c.versions[lba] == 0 {
+		// Never written through the cache: the expected content is
+		// whatever primary storage holds (clean fill of preloaded data).
+		t, terr := c.cfg.Primary.Content().ReadTag(lba)
+		if terr != nil {
+			return blockdev.ZeroTag, at, terr
+		}
+		want = t
+	}
+	switch e.state {
+	case stateBufClean, stateBufDirty, stateBufGC:
+		return want, at, nil // RAM copies cannot silently corrupt here
+	}
+	col, off := c.lay.devOffset(c.cfg, e.loc)
+	done, err := c.cfg.SSDs[col].Submit(at, blockdev.Request{Op: blockdev.OpRead, Off: off, Len: blockdev.PageSize})
+	if err != nil {
+		return blockdev.ZeroTag, at, err
+	}
+	got, err := c.cfg.SSDs[col].Content().ReadTag(off / blockdev.PageSize)
+	if err != nil {
+		return blockdev.ZeroTag, done, err
+	}
+	if got == want {
+		return got, done, nil
+	}
+
+	// Silent corruption: repair from parity or primary.
+	sg, seg, _, _ := c.lay.split(e.loc)
+	if int(c.groups[sg].segParity[seg]) >= 0 {
+		t, derr := c.degradedRead(done, col, off, blockdev.PageSize, lba)
+		if derr != nil {
+			return blockdev.ZeroTag, done, derr
+		}
+		fixed, rerr := c.ReconstructTag(e.loc)
+		if rerr != nil {
+			return blockdev.ZeroTag, t, rerr
+		}
+		if fixed != want {
+			return fixed, t, fmt.Errorf("%w: parity repair of page %d failed", ErrDataLoss, lba)
+		}
+		if err := c.cfg.SSDs[col].Content().WriteTag(off/blockdev.PageSize, fixed); err != nil {
+			return fixed, t, err
+		}
+		return fixed, t, nil
+	}
+	if e.state == stateSSDDirty {
+		return got, done, fmt.Errorf("%w: dirty page %d corrupt without parity", ErrDataLoss, lba)
+	}
+	// Clean without parity: drop and refetch.
+	c.dropPage(lba, e)
+	t, ferr := c.fillFromPrimary(done, lba, 1)
+	if ferr != nil {
+		return blockdev.ZeroTag, done, ferr
+	}
+	return want, t, nil
+}

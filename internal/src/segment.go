@@ -1,0 +1,298 @@
+package src
+
+import (
+	"errors"
+	"fmt"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+// allocSegment returns the coordinates of the next unused segment in the
+// active Segment Group, rotating groups (and garbage collecting) as needed.
+func (c *Cache) allocSegment(at vtime.Time) (sg, seg int64, err error) {
+	// A group opened during this call's own GC (whose S2S copies write
+	// segments too) may already have room; rotation below re-checks.
+	ranGC := false
+	for c.active < 0 || c.nextSeg == c.lay.segsPerSG {
+		if c.active >= 0 {
+			c.groups[c.active].state = groupClosed
+			c.fifo = append(c.fifo, c.active)
+			c.active = -1
+		}
+		if !c.inGC && !ranGC && len(c.freeSGs) <= 1 {
+			ranGC = true
+			if err := c.gc(at); err != nil {
+				return 0, 0, err
+			}
+			if c.active >= 0 {
+				continue // GC opened an active group; use it if not full
+			}
+		}
+		if len(c.freeSGs) == 0 {
+			return 0, 0, ErrNoFreeGroups
+		}
+		next := c.freeSGs[0]
+		c.freeSGs = c.freeSGs[1:]
+		g := &c.groups[next]
+		g.ensureTables(c.lay)
+		g.state = groupActive
+		g.valid = 0
+		c.seqCtr++
+		g.seq = c.seqCtr
+		c.active = next
+		c.nextSeg = 0
+	}
+	seg = c.nextSeg
+	c.nextSeg++
+	return c.active, seg, nil
+}
+
+// writeSegment writes the buffer out as one (possibly partial) segment:
+// data columns, MS/ME metadata blocks, and a parity column when the
+// segment kind calls for one (Figure 3(b)). It returns the completion time
+// of the segment write including any flush the policy requires.
+func (c *Cache) writeSegment(at vtime.Time, buf *segBuffer, dirty bool) (vtime.Time, error) {
+	if buf.Empty() {
+		c.wastedSlots += int64(buf.Len())
+		buf.Reset()
+		return at, nil
+	}
+	// Snapshot and reset the buffer before allocating: allocation may
+	// trigger GC, whose S2S copies append to this very buffer (they go
+	// into the next segment, not this one).
+	slots := append(make([]bufSlot, 0, buf.Len()), buf.slots...)
+	buf.Reset()
+	sg, seg, err := c.allocSegment(at)
+	if err != nil {
+		return at, err
+	}
+	absSeg := sg*c.lay.segsPerSG + seg
+	cols, parity := c.payloadCols(absSeg, dirty)
+	g := &c.groups[sg]
+	g.segParity[seg] = int8(parity)
+	c.segGen++
+	gen := c.segGen
+
+	// Column-major slot assignment keeps logically consecutive pages
+	// physically consecutive within a column, so large reads coalesce.
+	perCol := make([][]summaryEntry, c.lay.m)
+	colTags := make([][]blockdev.Tag, c.lay.m)
+	idx := int64(0)
+	for _, slot := range slots {
+		if !slot.valid {
+			continue
+		}
+		col := cols[idx/c.lay.payloadPages]
+		pic := 1 + idx%c.lay.payloadPages
+		idx++
+		loc := c.lay.loc(sg, seg, col, pic)
+		g.slots[c.lay.localSlot(loc)] = packSlot(slot.lba, dirty)
+		g.valid++
+		c.totalValid++
+		c.mapping[slot.lba] = entry{state: ssdState(dirty), loc: loc}
+		var version uint64
+		if c.cfg.TrackContent {
+			version = c.versions[slot.lba]
+		}
+		perCol[col] = append(perCol[col], summaryEntry{lba: slot.lba, version: version, dirty: dirty})
+		if c.cfg.TrackContent {
+			colTags[col] = append(colTags[col], slot.tag)
+		}
+	}
+	capacity := int64(len(cols)) * c.lay.payloadPages
+	c.wastedSlots += capacity - idx
+	g.paycap += capacity
+	c.totalPaycap += capacity
+
+	// Device writes: per participating column, [MS..last payload page] and
+	// the ME block (one contiguous write when the column is full).
+	colBase := c.lay.colOffset(c.cfg, sg, seg)
+	done := at
+	var failedCols []int
+	maxUsed := int64(0)
+	for _, col := range cols {
+		if n := int64(len(perCol[col])); n > maxUsed {
+			maxUsed = n
+		}
+	}
+	writeCols := cols
+	if parity >= 0 {
+		writeCols = append(append([]int{}, cols...), parity)
+	}
+	for _, col := range writeCols {
+		used := int64(len(perCol[col]))
+		if col == parity {
+			used = maxUsed
+			c.counters.ParityBytes += used * blockdev.PageSize
+		}
+		t, werr := c.writeColumn(at, col, colBase, used)
+		if werr != nil {
+			if errors.Is(werr, blockdev.ErrDeviceFailed) {
+				failedCols = append(failedCols, col)
+				continue
+			}
+			return at, werr
+		}
+		c.counters.MetadataBytes += 2 * blockdev.PageSize
+		done = vtime.Max(done, t)
+	}
+	if err := c.handleFailedColumns(failedCols, perCol, parity, dirty, sg, seg); err != nil {
+		return done, err
+	}
+
+	if c.cfg.TrackContent {
+		if err := c.recordSegmentContent(sg, seg, gen, parity, perCol, colTags, maxUsed, failedCols); err != nil {
+			return done, err
+		}
+	}
+
+	// Flush-command control (paper §4.1): per segment write, or when the
+	// active group just filled.
+	if c.cfg.Flush == FlushPerSegment || seg == c.lay.segsPerSG-1 {
+		t, ferr := c.flushSSDs(done)
+		if ferr != nil {
+			return done, ferr
+		}
+		done = vtime.Max(done, t)
+	}
+	return done, nil
+}
+
+func ssdState(dirty bool) pageState {
+	if dirty {
+		return stateSSDDirty
+	}
+	return stateSSDClean
+}
+
+// writeColumn issues the device writes for one column: MS plus `used`
+// payload pages as one run, and the ME block.
+func (c *Cache) writeColumn(at vtime.Time, col int, colBase, used int64) (vtime.Time, error) {
+	dev := c.cfg.SSDs[col]
+	if used >= c.lay.payloadPages {
+		// Full column: MS + payload + ME are contiguous.
+		return dev.Submit(at, blockdev.Request{Op: blockdev.OpWrite, Off: colBase, Len: c.cfg.SegmentColumn})
+	}
+	t1, err := dev.Submit(at, blockdev.Request{
+		Op: blockdev.OpWrite, Off: colBase, Len: (1 + used) * blockdev.PageSize,
+	})
+	if err != nil {
+		return at, err
+	}
+	t2, err := dev.Submit(at, blockdev.Request{
+		Op: blockdev.OpWrite, Off: colBase + (c.lay.pagesPerCol-1)*blockdev.PageSize, Len: blockdev.PageSize,
+	})
+	if err != nil {
+		return at, err
+	}
+	return vtime.Max(t1, t2), nil
+}
+
+// handleFailedColumns resolves payload slots that landed on failed devices:
+// parity-covered slots stay reconstructable; parityless clean slots are
+// quietly dropped (refetchable); parityless dirty slots are data loss.
+func (c *Cache) handleFailedColumns(failedCols []int, perCol [][]summaryEntry, parity int, dirty bool, sg, seg int64) error {
+	parityLost := false
+	for _, col := range failedCols {
+		if col == parity {
+			parityLost = true
+		}
+	}
+	for _, col := range failedCols {
+		if col == parity {
+			continue // lost parity alone: data columns are intact
+		}
+		if parity >= 0 && !parityLost {
+			continue // parity protects the lost column
+		}
+		for pic, e := range perCol[col] {
+			loc := c.lay.loc(sg, seg, col, int64(pic)+1)
+			if dirty {
+				return fmt.Errorf("%w: dirty page %d on failed ssd %d without parity", ErrDataLoss, e.lba, col)
+			}
+			c.invalidateSSD(loc)
+			delete(c.mapping, e.lba)
+		}
+	}
+	return nil
+}
+
+// recordSegmentContent writes page tags, parity tags, and MS/ME summary
+// blobs to the device content stores.
+func (c *Cache) recordSegmentContent(sg, seg, gen int64, parity int, perCol [][]summaryEntry, colTags [][]blockdev.Tag, maxUsed int64, failedCols []int) error {
+	colBase := c.lay.colOffset(c.cfg, sg, seg)
+	basePage := colBase / blockdev.PageSize
+	failed := make(map[int]bool, len(failedCols))
+	for _, col := range failedCols {
+		failed[col] = true
+	}
+	for col := 0; col < c.lay.m; col++ {
+		isParity := col == parity
+		if len(perCol[col]) == 0 && !isParity {
+			continue
+		}
+		if failed[col] {
+			continue
+		}
+		cont := c.cfg.SSDs[col].Content()
+		used := int64(len(perCol[col]))
+		if isParity {
+			used = maxUsed
+		}
+		for pic := int64(1); pic <= used; pic++ {
+			var tag blockdev.Tag
+			if isParity {
+				for _, dc := range colTags {
+					if int64(len(dc)) >= pic && dc != nil {
+						tag = tag.XOR(dc[pic-1])
+					}
+				}
+			} else {
+				tag = colTags[col][pic-1]
+			}
+			if err := cont.WriteTag(basePage+pic, tag); err != nil {
+				return err
+			}
+		}
+		s := &summary{
+			kind: kindMS, gen: gen, sg: sg, seg: seg,
+			col: uint8(col), parityCol: int8(parity), entries: perCol[col],
+		}
+		if err := cont.WriteBlob(basePage, s.marshal()); err != nil {
+			return err
+		}
+		s.kind = kindME
+		if err := cont.WriteBlob(basePage+c.lay.pagesPerCol-1, s.marshal()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSuperblock fills Segment Group 0 with the instance superblock; it is
+// written once at assembly time (virtual time zero) and is read-only
+// thereafter.
+func (c *Cache) writeSuperblock() error {
+	sb := &superblock{
+		ssds:           uint32(c.lay.m),
+		eraseGroupSize: c.cfg.EraseGroupSize,
+		segmentColumn:  c.cfg.SegmentColumn,
+		numSG:          c.lay.numSG,
+	}
+	blob := sb.marshal()
+	for _, dev := range c.cfg.SSDs {
+		if _, err := dev.Submit(0, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: blockdev.PageSize}); err != nil {
+			return fmt.Errorf("superblock write: %w", err)
+		}
+		if c.cfg.TrackContent {
+			if err := dev.Content().WriteBlob(0, blob); err != nil {
+				return err
+			}
+		}
+		if _, err := dev.Flush(0); err != nil {
+			return fmt.Errorf("superblock flush: %w", err)
+		}
+	}
+	return nil
+}

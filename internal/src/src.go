@@ -1,0 +1,491 @@
+package src
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"srccache/internal/bench"
+	"srccache/internal/bitmap"
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+// Errors reported by the cache.
+var (
+	// ErrNoFreeGroups reports that garbage collection could not produce a
+	// free Segment Group.
+	ErrNoFreeGroups = errors.New("src: no reclaimable segment groups")
+	// ErrDataLoss reports unrecoverable data (an SSD failure with no
+	// redundancy covering the lost pages).
+	ErrDataLoss = errors.New("src: unrecoverable data loss")
+)
+
+// Cache is an SRC cache instance. It implements bench.Cache.
+type Cache struct {
+	cfg Config
+	lay layout
+
+	groups      []group
+	freeSGs     []int64 // FIFO queue of free groups
+	fifo        []int64 // closed groups in fill order
+	active      int64
+	nextSeg     int64
+	seqCtr      int64
+	segGen      int64 // global segment generation for metadata summaries
+	inGC        bool
+	totalValid  int64
+	totalPaycap int64
+
+	mapping  map[int64]entry
+	dirtyBuf *segBuffer
+	cleanBuf *segBuffer
+	gcBuf    *segBuffer // S2S dirty copies (SeparateGCBuffer mode), else nil
+	hot      *bitmap.Bitmap
+	versions map[int64]uint64
+
+	counters    bench.Counters
+	lastWriteAt vtime.Time
+	wastedSlots int64 // padding from partial segments and dead buffer slots
+}
+
+var _ bench.Cache = (*Cache)(nil)
+
+// New assembles an SRC cache over the configured SSD array and writes the
+// superblock group.
+func New(cfg Config) (*Cache, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	lay := newLayout(cfg)
+	c := &Cache{
+		cfg:     cfg,
+		lay:     lay,
+		groups:  make([]group, lay.numSG),
+		active:  -1,
+		mapping: make(map[int64]entry),
+		hot:     bitmap.New(cfg.Primary.Capacity() / blockdev.PageSize),
+	}
+	if cfg.TrackContent {
+		c.versions = make(map[int64]uint64)
+	}
+	c.dirtyBuf = newSegBuffer(c.bufCapacity(true))
+	c.cleanBuf = newSegBuffer(c.bufCapacity(false))
+	if cfg.SeparateGCBuffer {
+		c.gcBuf = newSegBuffer(c.bufCapacity(true))
+	}
+
+	// Group 0 holds the superblock (paper §4.1): written once, read-only.
+	c.groups[0].state = groupSuperblock
+	if err := c.writeSuperblock(); err != nil {
+		return nil, err
+	}
+	for sg := int64(1); sg < lay.numSG; sg++ {
+		c.groups[sg].state = groupFree
+		c.freeSGs = append(c.freeSGs, sg)
+	}
+	return c, nil
+}
+
+// Config returns the effective configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Counters implements bench.Cache.
+func (c *Cache) Counters() bench.Counters { return c.counters }
+
+// CacheDevices implements bench.Cache.
+func (c *Cache) CacheDevices() []blockdev.Device { return c.cfg.SSDs }
+
+// Primary returns the backing store.
+func (c *Cache) Primary() blockdev.Device { return c.cfg.Primary }
+
+// payloadCols lists the columns that carry payload in a segment of the
+// given kind at the given absolute segment number, and the parity column
+// (-1 when parityless).
+func (c *Cache) payloadCols(absSeg int64, dirty bool) (cols []int, parity int) {
+	parity = -1
+	if dirty || c.cfg.Parity == PC {
+		parity = parityCol(c.cfg.Level, c.lay.m, absSeg)
+	}
+	cols = make([]int, 0, c.lay.m)
+	for col := 0; col < c.lay.m; col++ {
+		if col != parity {
+			cols = append(cols, col)
+		}
+	}
+	return cols, parity
+}
+
+// bufCapacity is the payload capacity of one segment of the given kind —
+// the size of the corresponding segment buffer.
+func (c *Cache) bufCapacity(dirty bool) int64 {
+	cols, _ := c.payloadCols(0, dirty)
+	return int64(len(cols)) * c.lay.payloadPages
+}
+
+// Utilization reports live payload pages over the payload capacity of all
+// written (active + closed) segments — the quantity Sel-GC compares with
+// U_MAX.
+func (c *Cache) Utilization() float64 {
+	if c.totalPaycap == 0 {
+		return 0
+	}
+	return float64(c.totalValid) / float64(c.totalPaycap)
+}
+
+// FreeGroups reports the number of free Segment Groups.
+func (c *Cache) FreeGroups() int { return len(c.freeSGs) }
+
+// Groups reports the total number of Segment Groups including the
+// superblock.
+func (c *Cache) Groups() int { return int(c.lay.numSG) }
+
+// CachedPages reports the number of logical pages currently cached (any
+// state).
+func (c *Cache) CachedPages() int { return len(c.mapping) }
+
+// DirtyBufferedPages reports pages waiting in the dirty segment buffers
+// (host writes plus, in SeparateGCBuffer mode, S2S copies).
+func (c *Cache) DirtyBufferedPages() int {
+	n := c.dirtyBuf.Live()
+	if c.gcBuf != nil {
+		n += c.gcBuf.Live()
+	}
+	return n
+}
+
+// WastedSlots reports payload slots lost to partial segments and
+// invalidated buffer entries.
+func (c *Cache) WastedSlots() int64 { return c.wastedSlots }
+
+// tagFor derives the content tag for the current version of lba.
+func (c *Cache) tagFor(lba int64) blockdev.Tag {
+	if !c.cfg.TrackContent {
+		return blockdev.ZeroTag
+	}
+	return blockdev.DataTag(lba, c.versions[lba])
+}
+
+// invalidateSSD drops an on-SSD mapping entry's slot accounting.
+func (c *Cache) invalidateSSD(loc int64) {
+	g := &c.groups[c.lay.groupOf(loc)]
+	s := c.lay.localSlot(loc)
+	if g.slots[s] != slotFree {
+		g.slots[s] = slotFree
+		g.valid--
+		c.totalValid--
+	}
+}
+
+// dropPage removes lba from the cache entirely.
+func (c *Cache) dropPage(lba int64, e entry) {
+	switch e.state {
+	case stateBufClean:
+		c.cleanBuf.Invalidate(int(e.loc))
+	case stateBufDirty:
+		c.dirtyBuf.Invalidate(int(e.loc))
+	case stateBufGC:
+		c.gcBuf.Invalidate(int(e.loc))
+	default:
+		c.invalidateSSD(e.loc)
+	}
+	delete(c.mapping, lba)
+}
+
+// Submit implements the host-facing block interface of the cache volume
+// (the primary storage's address space).
+func (c *Cache) Submit(at vtime.Time, req blockdev.Request) (vtime.Time, error) {
+	if err := req.Validate(c.cfg.Primary.Capacity()); err != nil {
+		return at, err
+	}
+	switch req.Op {
+	case blockdev.OpWrite:
+		return c.hostWrite(at, req)
+	case blockdev.OpRead:
+		return c.hostRead(at, req)
+	default: // trim: invalidate cached copies, forward to primary
+		first := req.Off / blockdev.PageSize
+		for p := first; p < first+req.Pages(); p++ {
+			if e, ok := c.mapping[p]; ok {
+				c.dropPage(p, e)
+			}
+		}
+		return c.cfg.Primary.Submit(at, req)
+	}
+}
+
+// hostWrite buffers each page in the dirty segment buffer, writing full
+// segments out as they form. The acknowledgement is immediate for buffered
+// pages and follows the segment write when one is triggered (write-back
+// with natural SSD back-pressure).
+func (c *Cache) hostWrite(at vtime.Time, req blockdev.Request) (vtime.Time, error) {
+	c.lastWriteAt = at
+	first := req.Off / blockdev.PageSize
+	pages := req.Pages()
+	c.counters.Writes += pages
+	c.counters.WriteBytes += req.Len
+	ack := at
+	for p := first; p < first+pages; p++ {
+		if c.cfg.TrackContent {
+			c.versions[p]++
+		}
+		if e, ok := c.mapping[p]; ok {
+			c.hot.Set(p) // a rewrite is a re-reference
+			if e.state == stateBufDirty {
+				c.dirtyBuf.SetTag(int(e.loc), c.tagFor(p))
+				continue // already buffered dirty: updated in place
+			}
+			c.dropPage(p, e)
+		}
+		slot := c.dirtyBuf.Append(p, c.tagFor(p))
+		c.mapping[p] = entry{state: stateBufDirty, loc: int64(slot)}
+		if c.dirtyBuf.Full() {
+			done, err := c.writeSegment(ack, c.dirtyBuf, true)
+			if err != nil {
+				return ack, err
+			}
+			ack = done
+		}
+	}
+	return ack, nil
+}
+
+// hostRead serves hits from the segment buffers (RAM) and the SSDs, and
+// misses from primary storage; miss data is staged and then collected in
+// the clean segment buffer (paper §4.1).
+func (c *Cache) hostRead(at vtime.Time, req blockdev.Request) (vtime.Time, error) {
+	first := req.Off / blockdev.PageSize
+	pages := req.Pages()
+	c.counters.Reads += pages
+	c.counters.ReadBytes += req.Len
+
+	done := at
+	// SSD hit runs are coalesced into per-device contiguous reads; misses
+	// into contiguous primary reads.
+	runStart := int64(-1) // first lba of the current miss run
+	var ssdRunLoc, ssdRunFirst int64 = -1, -1
+
+	flushSSDRun := func(endLBA int64) error {
+		if ssdRunFirst < 0 {
+			return nil
+		}
+		n := endLBA - ssdRunFirst
+		col, off := c.lay.devOffset(c.cfg, ssdRunLoc)
+		t, err := c.readSSD(at, col, off, n*blockdev.PageSize, ssdRunFirst)
+		if err != nil {
+			return err
+		}
+		done = vtime.Max(done, t)
+		ssdRunFirst, ssdRunLoc = -1, -1
+		return nil
+	}
+	flushMissRun := func(endLBA int64) error {
+		if runStart < 0 {
+			return nil
+		}
+		t, err := c.fillFromPrimary(at, runStart, endLBA-runStart)
+		if err != nil {
+			return err
+		}
+		done = vtime.Max(done, t)
+		runStart = -1
+		return nil
+	}
+
+	for p := first; p < first+pages; p++ {
+		e, ok := c.mapping[p]
+		if !ok {
+			if err := flushSSDRun(p); err != nil {
+				return done, err
+			}
+			if runStart < 0 {
+				runStart = p
+			}
+			continue
+		}
+		if err := flushMissRun(p); err != nil {
+			return done, err
+		}
+		c.counters.ReadHits++
+		c.counters.ReadHitBytes += blockdev.PageSize
+		c.hot.Set(p)
+		switch e.state {
+		case stateBufClean, stateBufDirty, stateBufGC:
+			// Served from RAM at no device cost.
+			if err := flushSSDRun(p); err != nil {
+				return done, err
+			}
+		default:
+			if ssdRunFirst >= 0 && e.loc == ssdRunLoc+(p-ssdRunFirst) {
+				continue // extends the current run
+			}
+			if err := flushSSDRun(p); err != nil {
+				return done, err
+			}
+			ssdRunFirst, ssdRunLoc = p, e.loc
+		}
+	}
+	if err := flushSSDRun(first + pages); err != nil {
+		return done, err
+	}
+	if err := flushMissRun(first + pages); err != nil {
+		return done, err
+	}
+	return done, nil
+}
+
+// readSSD reads a contiguous run from one SSD, falling back to
+// reconstruction (parity) or primary refetch (parityless clean) when the
+// device has failed.
+func (c *Cache) readSSD(at vtime.Time, col int, off, n int64, loc int64) (vtime.Time, error) {
+	t, err := c.cfg.SSDs[col].Submit(at, blockdev.Request{Op: blockdev.OpRead, Off: off, Len: n})
+	if err == nil {
+		return t, nil
+	}
+	if !errors.Is(err, blockdev.ErrDeviceFailed) {
+		return at, err
+	}
+	return c.degradedRead(at, col, off, n, loc)
+}
+
+// fillFromPrimary fetches a miss run into the staging buffer (the returned
+// completion time) and inserts the pages into the clean segment buffer.
+func (c *Cache) fillFromPrimary(at vtime.Time, lba, pages int64) (vtime.Time, error) {
+	done, err := c.cfg.Primary.Submit(at, blockdev.Request{
+		Op: blockdev.OpRead, Off: lba * blockdev.PageSize, Len: pages * blockdev.PageSize,
+	})
+	if err != nil {
+		return at, err
+	}
+	c.counters.FillBytes += pages * blockdev.PageSize
+	for p := lba; p < lba+pages; p++ {
+		var tag blockdev.Tag
+		if c.cfg.TrackContent {
+			t, err := c.cfg.Primary.Content().ReadTag(p)
+			if err != nil {
+				return done, err
+			}
+			tag = t
+		}
+		if _, ok := c.mapping[p]; ok {
+			continue // raced with a concurrent insert in this request
+		}
+		slot := c.cleanBuf.Append(p, tag)
+		c.mapping[p] = entry{state: stateBufClean, loc: int64(slot)}
+		if c.cleanBuf.Full() {
+			// Clean segment writes happen off the acknowledgement path:
+			// the staging buffer already answered the host.
+			if _, err := c.writeSegment(done, c.cleanBuf, false); err != nil {
+				return done, err
+			}
+		}
+	}
+	return done, nil
+}
+
+// Flush implements the upper layer's flush: the dirty buffer is written out
+// as a (possibly partial) segment and every SSD is flushed. Because dirty
+// data is parity-protected on the SSD array, primary storage need not be
+// touched (the design point distinguishing SRC from flush-through caches).
+func (c *Cache) Flush(at vtime.Time) (vtime.Time, error) {
+	done := at
+	if !c.dirtyBuf.Empty() {
+		t, err := c.writeSegment(at, c.dirtyBuf, true)
+		if err != nil {
+			return at, err
+		}
+		done = vtime.Max(done, t)
+	}
+	if c.gcBuf != nil && !c.gcBuf.Empty() {
+		t, err := c.writeSegment(at, c.gcBuf, true)
+		if err != nil {
+			return at, err
+		}
+		done = vtime.Max(done, t)
+	}
+	t, err := c.flushSSDs(done)
+	if err != nil {
+		return at, err
+	}
+	return vtime.Max(done, t), nil
+}
+
+// Tick implements the partial-segment timeout (paper §4.1): when no write
+// has arrived for TWait, the dirty buffer is written out as a partial
+// segment to bound the unprotected window.
+func (c *Cache) Tick(at vtime.Time) (vtime.Time, error) {
+	if c.dirtyBuf.Empty() || at.Sub(c.lastWriteAt) < c.cfg.TWait {
+		return at, nil
+	}
+	return c.writeSegment(at, c.dirtyBuf, true)
+}
+
+// flushSSDs issues the flush command to every SSD and returns the last
+// completion.
+func (c *Cache) flushSSDs(at vtime.Time) (vtime.Time, error) {
+	done := at
+	for _, d := range c.cfg.SSDs {
+		t, err := d.Flush(at)
+		if err != nil {
+			if errors.Is(err, blockdev.ErrDeviceFailed) {
+				continue
+			}
+			return at, err
+		}
+		done = vtime.Max(done, t)
+	}
+	c.counters.SSDFlushes++
+	return done, nil
+}
+
+// destageRuns writes a set of dirty pages to primary storage, coalescing
+// LBA-contiguous pages into single writes. Reads from the SSDs must have
+// completed by `ready`.
+func (c *Cache) destageRuns(ready vtime.Time, lbas []int64) (vtime.Time, error) {
+	if len(lbas) == 0 {
+		return ready, nil
+	}
+	sort.Slice(lbas, func(i, j int) bool { return lbas[i] < lbas[j] })
+	done := ready
+	runStart := lbas[0]
+	prev := lbas[0]
+	flush := func(endExclusive int64) error {
+		n := (endExclusive - runStart) * blockdev.PageSize
+		t, err := c.cfg.Primary.Submit(ready, blockdev.Request{
+			Op: blockdev.OpWrite, Off: runStart * blockdev.PageSize, Len: n,
+		})
+		if err != nil {
+			return err
+		}
+		c.counters.DestageBytes += n
+		done = vtime.Max(done, t)
+		return nil
+	}
+	for _, lba := range lbas[1:] {
+		if lba == prev+1 {
+			prev = lba
+			continue
+		}
+		if err := flush(prev + 1); err != nil {
+			return done, err
+		}
+		runStart, prev = lba, lba
+	}
+	if err := flush(prev + 1); err != nil {
+		return done, err
+	}
+	if c.cfg.TrackContent {
+		for _, lba := range lbas {
+			if err := c.cfg.Primary.Content().WriteTag(lba, c.tagFor(lba)); err != nil {
+				return done, err
+			}
+		}
+	}
+	return done, nil
+}
+
+func (c *Cache) String() string {
+	return fmt.Sprintf("src(%d ssds, %v, %v/%v, %v, %v)",
+		c.lay.m, c.cfg.Level, c.cfg.GC, c.cfg.Victim, c.cfg.Parity, c.cfg.Flush)
+}

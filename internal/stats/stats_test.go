@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"srccache/internal/vtime"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestMeanAndMax(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * vtime.Microsecond)
+	h.Observe(30 * vtime.Microsecond)
+	if h.Mean() != 20*vtime.Microsecond {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	if h.Max() != 30*vtime.Microsecond {
+		t.Fatalf("max %v", h.Max())
+	}
+	if h.Count() != 2 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestNegativeClampedToZero(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Percentile(100) != 0 {
+		t.Fatalf("p100 %v", h.Percentile(100))
+	}
+}
+
+func TestPercentileApproximation(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]vtime.Duration, 0, 10000)
+	for i := 0; i < 10000; i++ {
+		d := vtime.Duration(rng.Int63n(int64(50 * vtime.Millisecond)))
+		samples = append(samples, d)
+		h.Observe(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{50, 90, 99} {
+		exact := samples[int(p/100*float64(len(samples)))-1]
+		got := h.Percentile(p)
+		ratio := float64(got) / float64(exact)
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Fatalf("p%.0f = %v, exact %v (ratio %.3f)", p, got, exact, ratio)
+		}
+	}
+	// Clamping of out-of-range percentiles.
+	if h.Percentile(-5) == 0 && h.Count() > 0 {
+		// p0 clamps to the first observation's bucket; just ensure ordering:
+		if h.Percentile(-5) > h.Percentile(200) {
+			t.Fatal("percentiles not monotone under clamping")
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(vtime.Millisecond)
+	b.Observe(3 * vtime.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	if a.Mean() != 2*vtime.Millisecond {
+		t.Fatalf("merged mean %v", a.Mean())
+	}
+	if a.Max() != 3*vtime.Millisecond {
+		t.Fatalf("merged max %v", a.Max())
+	}
+}
+
+func TestBucketBoundsMonotone(t *testing.T) {
+	prev := vtime.Duration(-1)
+	for i := 0; i < 64*subBuckets; i++ {
+		lb := lowerBound(i)
+		if lb < prev {
+			t.Fatalf("bucket %d lower bound %v < previous %v", i, lb, prev)
+		}
+		prev = lb
+	}
+	// Round trip: a value maps to a bucket whose bound does not exceed it.
+	for _, d := range []vtime.Duration{0, 1, 15, 16, 17, 1000, 123456789} {
+		b := bucketOf(d)
+		if lowerBound(b) > d {
+			t.Fatalf("value %v in bucket %d with lower bound %v", d, b, lowerBound(b))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+// The CSV layout follows the MSR Cambridge block-trace format:
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//
+// Timestamps are Windows FILETIME ticks (100 ns units) in the original
+// traces; files written by this package use the same unit. ResponseTime is
+// preserved on read and written as 0.
+
+// filetimeTick is the FILETIME resolution in virtual-time units.
+const filetimeTick = 100 * vtime.Nanosecond
+
+// WriteCSV serializes records in MSR format.
+func WriteCSV(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range recs {
+		op := "Write"
+		if r.Op == blockdev.OpRead {
+			op = "Read"
+		}
+		_, err := fmt.Fprintf(bw, "%d,%s,%d,%s,%d,%d,0\n",
+			int64(r.Timestamp/filetimeTick), r.Host, r.Disk, op, r.Off, r.Len)
+		if err != nil {
+			return fmt.Errorf("trace: write csv: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses MSR-format records. Offsets and sizes are rounded outward
+// to page alignment (real traces contain sector-aligned values); blank
+// lines are skipped.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	var recs []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 6 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want at least 6", line, len(fields))
+		}
+		ts, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d timestamp: %w", line, err)
+		}
+		disk, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d disk: %w", line, err)
+		}
+		var op blockdev.Op
+		switch strings.ToLower(fields[3]) {
+		case "read":
+			op = blockdev.OpRead
+		case "write":
+			op = blockdev.OpWrite
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", line, fields[3])
+		}
+		off, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d offset: %w", line, err)
+		}
+		size, err := strconv.ParseInt(fields[5], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d size: %w", line, err)
+		}
+		if size <= 0 {
+			continue
+		}
+		end := off + size
+		off -= off % blockdev.PageSize
+		if end%blockdev.PageSize != 0 {
+			end += blockdev.PageSize - end%blockdev.PageSize
+		}
+		recs = append(recs, Record{
+			Timestamp: vtime.Duration(ts) * filetimeTick,
+			Host:      fields[1],
+			Disk:      disk,
+			Op:        op,
+			Off:       off,
+			Len:       end - off,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read csv: %w", err)
+	}
+	return recs, nil
+}

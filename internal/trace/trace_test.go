@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"srccache/internal/blockdev"
+)
+
+func TestCatalogMatchesTable6(t *testing.T) {
+	if len(WriteGroup) != 10 || len(MixedGroup) != 7 || len(ReadGroup) != 5 {
+		t.Fatalf("group sizes %d/%d/%d, want 10/7/5",
+			len(WriteGroup), len(MixedGroup), len(ReadGroup))
+	}
+	// Spot-check a few transcribed values.
+	if WriteGroup[0].Name != "prxy0" || WriteGroup[0].ReadPct != 3 {
+		t.Fatalf("prxy0 spec %+v", WriteGroup[0])
+	}
+	if ReadGroup[3].Name != "src21" || ReadGroup[3].ReadPct != 99 {
+		t.Fatalf("src21 spec %+v", ReadGroup[3])
+	}
+	// Each group's working set is roughly 50 GB per the paper (decimal GB;
+	// the Read group is dominated by msn5's 124 GB span but the paper
+	// matched *working sets*, so allow a wide band on raw footprints).
+	for name, specs := range Groups() {
+		gb := float64(GroupFootprint(specs, 1)) / 1e9
+		if gb < 30 || gb > 500 {
+			t.Fatalf("group %s footprint %.1f GB implausible", name, gb)
+		}
+	}
+}
+
+func TestGroupLookup(t *testing.T) {
+	for _, name := range GroupNames() {
+		specs, err := Group(name)
+		if err != nil || len(specs) == 0 {
+			t.Fatalf("Group(%s) = %v, %v", name, specs, err)
+		}
+	}
+	if _, err := Group("nope"); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+}
+
+func TestSynthValidation(t *testing.T) {
+	if _, err := NewSynth(SynthConfig{}); err == nil {
+		t.Fatal("accepted missing spec")
+	}
+	if _, err := NewSynth(SynthConfig{Spec: WriteGroup[0], Scale: -1}); err == nil {
+		t.Fatal("accepted negative scale")
+	}
+	if _, err := NewSynth(SynthConfig{Spec: WriteGroup[0], SeqProb: 1.5}); err == nil {
+		t.Fatal("accepted bad seq probability")
+	}
+	if _, err := NewSynth(SynthConfig{Spec: WriteGroup[0], Offset: 3}); err == nil {
+		t.Fatal("accepted unaligned offset")
+	}
+}
+
+func TestSynthMatchesSpecStatistics(t *testing.T) {
+	spec := Spec{Name: "synthcheck", MeanReqKB: 16, FootprintGB: 0.064, ReadPct: 30}
+	s, err := NewSynth(SynthConfig{Spec: spec, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	var bytesTotal, reads int64
+	for i := 0; i < n; i++ {
+		r, ok := s.Next()
+		if !ok {
+			t.Fatal("synth ended")
+		}
+		if r.Off < 0 || r.Off+r.Len > s.Span() {
+			t.Fatalf("request %v outside footprint %d", r, s.Span())
+		}
+		if r.Off%blockdev.PageSize != 0 || r.Len%blockdev.PageSize != 0 {
+			t.Fatalf("unaligned request %v", r)
+		}
+		bytesTotal += r.Len
+		if r.Op == blockdev.OpRead {
+			reads++
+		}
+	}
+	meanKB := float64(bytesTotal) / n / 1000
+	if math.Abs(meanKB-16)/16 > 0.25 {
+		t.Fatalf("mean request %.2f KB, want ~16", meanKB)
+	}
+	readPct := 100 * float64(reads) / n
+	if math.Abs(readPct-30) > 3 {
+		t.Fatalf("read pct %.1f, want ~30", readPct)
+	}
+}
+
+func TestSynthDeterministicPerName(t *testing.T) {
+	mk := func(name string) blockdev.Request {
+		s, err := NewSynth(SynthConfig{Spec: Spec{Name: name, MeanReqKB: 8, FootprintGB: 0.01, ReadPct: 50}, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, _ := s.Next()
+		return r
+	}
+	if mk("a") != mk("a") {
+		t.Fatal("same name, same seed diverges")
+	}
+	if mk("a") == mk("b") {
+		t.Fatal("different names produce identical streams")
+	}
+}
+
+func TestSynthSequentialRuns(t *testing.T) {
+	spec := Spec{Name: "seqcheck", MeanReqKB: 4, FootprintGB: 0.016, ReadPct: 0}
+	s, err := NewSynth(SynthConfig{Spec: spec, SeqProb: 0.7, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := 0
+	var last int64 = -1
+	const n = 5000
+	for i := 0; i < n; i++ {
+		r, _ := s.Next()
+		if r.Off == last {
+			seq++
+		}
+		last = r.Off + r.Len
+	}
+	frac := float64(seq) / n
+	if frac < 0.5 || frac > 0.9 {
+		t.Fatalf("sequential continuation fraction %.2f, want ~0.7", frac)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	spec := Spec{Name: "csvcheck", MeanReqKB: 12, FootprintGB: 0.01, ReadPct: 40}
+	s, err := NewSynth(SynthConfig{Spec: spec, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]Record, 100)
+	for i := range recs {
+		recs[i] = s.NextRecord()
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Op != recs[i].Op || got[i].Off != recs[i].Off || got[i].Len != recs[i].Len || got[i].Host != recs[i].Host {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReadCSVAlignsSectors(t *testing.T) {
+	// A sector-aligned MSR record (offset 512, size 1024) must round
+	// outward to page alignment.
+	in := "128166372003061629,usr,0,Read,512,1024,1331\n"
+	recs, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0].Off != 0 || recs[0].Len != blockdev.PageSize {
+		t.Fatalf("aligned to %d+%d, want 0+%d", recs[0].Off, recs[0].Len, blockdev.PageSize)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	for _, in := range []string{
+		"1,h,0,Frob,0,4096,0\n", // unknown op
+		"x,h,0,Read,0,4096,0\n", // bad timestamp
+		"1,h,y,Read,0,4096,0\n", // bad disk
+		"1,h,0,Read,z,4096,0\n", // bad offset
+		"1,h,0,Read,0,z,0\n",    // bad size
+		"1,h,0\n",               // too few fields
+	} {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+	// Blank lines and zero-size records are skipped, not errors.
+	recs, err := ReadCSV(strings.NewReader("\n1,h,0,Read,0,0,0\n"))
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("recs=%v err=%v", recs, err)
+	}
+}
+
+func TestReplayEnds(t *testing.T) {
+	recs := []Record{
+		{Op: blockdev.OpWrite, Off: 0, Len: blockdev.PageSize},
+		{Op: blockdev.OpRead, Off: blockdev.PageSize, Len: blockdev.PageSize},
+	}
+	r := NewReplay(recs)
+	for i := 0; i < 2; i++ {
+		if _, ok := r.Next(); !ok {
+			t.Fatalf("ended at %d", i)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("replay did not end")
+	}
+}
