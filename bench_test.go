@@ -8,6 +8,7 @@ package srccache_test
 // Full-budget runs with complete tables: go run ./cmd/srcbench -exp all
 
 import (
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -37,11 +38,16 @@ func tableCell(b *testing.B, tbl *experiments.Table, row, col int) float64 {
 // runExperiment executes the experiment b.N times and returns the last
 // result set.
 func runExperiment(b *testing.B, f func(experiments.Options) ([]*experiments.Table, error)) []*experiments.Table {
+	return runExperimentOpts(b, benchOpts(), f)
+}
+
+// runExperimentOpts is runExperiment with explicit options.
+func runExperimentOpts(b *testing.B, opts experiments.Options, f func(experiments.Options) ([]*experiments.Table, error)) []*experiments.Table {
 	b.Helper()
 	var tables []*experiments.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		tables, err = f(benchOpts())
+		tables, err = f(opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,6 +131,18 @@ func BenchmarkFigure7HeadToHead(b *testing.B) {
 	b.ReportMetric(tableCell(b, t[0], 2, 1), "bcache5_write_MB/s")
 	b.ReportMetric(tableCell(b, t[0], 3, 1), "flashcache5_write_MB/s")
 	b.ReportMetric(tableCell(b, t[2], 0, 1), "src_write_hitRatio")
+}
+
+// BenchmarkFigure7HeadToHeadParallel is BenchmarkFigure7HeadToHead with
+// the experiment's 12 cells fanned out over GOMAXPROCS workers; comparing
+// the two ns/op measures the scheduler's wall-clock speedup (the reported
+// virtual-time metrics are identical by construction).
+func BenchmarkFigure7HeadToHeadParallel(b *testing.B) {
+	opts := benchOpts()
+	opts.Parallel = runtime.GOMAXPROCS(0)
+	t := runExperimentOpts(b, opts, experiments.Figure7)
+	b.ReportMetric(tableCell(b, t[0], 0, 1), "src_write_MB/s")
+	b.ReportMetric(tableCell(b, t[0], 2, 1), "bcache5_write_MB/s")
 }
 
 func BenchmarkAblationVictimPolicies(b *testing.B) {

@@ -58,6 +58,37 @@ func TestRunWritesOutputFile(t *testing.T) {
 	}
 }
 
+// stripTimings drops the wall-clock "[exp completed in ...]" lines, the
+// only part of stdout that varies between runs.
+func stripTimings(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "[") && strings.Contains(line, "completed in") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	args := []string{"-exp", "table3", "-scale", "16", "-requests", "20000"}
+	if err := run(append(args, "-parallel", "1"), &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-parallel", "4"), &parallel); err != nil {
+		t.Fatal(err)
+	}
+	s, p := stripTimings(serial.String()), stripTimings(parallel.String())
+	if s != p {
+		t.Fatalf("parallel tables differ from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", s, p)
+	}
+	if !strings.Contains(s, "Table 3") {
+		t.Fatalf("missing table output:\n%s", s)
+	}
+}
+
 func TestBadFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-bogus"}, &out); err == nil {

@@ -24,14 +24,25 @@ func AblationVictim(opts Options) ([]*Table, error) {
 		Columns: []string{"Group", "FIFO", "Greedy", "Cost-Benefit"},
 		Notes:   []string{"beyond the paper: §6 lists other victim policies as future work"},
 	}
-	for _, g := range groupNames() {
-		row := []string{g}
-		for _, v := range []src.VictimPolicy{src.FIFO, src.Greedy, src.CostBenefit} {
-			run, err := srcGroupRun(o, g, func(c *src.Config) { c.Victim = v })
+	policies := []src.VictimPolicy{src.FIFO, src.Greedy, src.CostBenefit}
+	groups := groupNames()
+	results, err := gridCells(o, "ablation-victim", len(groups), len(policies),
+		func(r, c int) string { return fmt.Sprintf("%s/%v", groups[r], policies[c]) },
+		func(r, c int) (GroupRun, error) {
+			v := policies[c]
+			run, err := srcGroupRun(o, groups[r], func(cfg *src.Config) { cfg.Victim = v })
 			if err != nil {
-				return nil, fmt.Errorf("ablation victim %v %s: %w", v, g, err)
+				return GroupRun{}, fmt.Errorf("ablation victim %v %s: %w", v, groups[r], err)
 			}
-			row = append(row, fmt.Sprintf("%s(%s)", f1(run.MBps), f2(run.IOAmp)))
+			return run, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, g := range groups {
+		row := []string{g}
+		for c := range policies {
+			row = append(row, fmt.Sprintf("%s(%s)", f1(results[r][c].MBps), f2(results[r][c].IOAmp)))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -49,20 +60,31 @@ func AblationSegmentSize(opts Options) ([]*Table, error) {
 		Columns: []string{"Segment (paper-scale)"},
 		Notes:   []string{"smaller segments flush and pad more often; larger ones delay durability"},
 	}
-	t.Columns = append(t.Columns, groupNames()...)
+	groups := groupNames()
+	t.Columns = append(t.Columns, groups...)
 	// Paper-scale segment sizes: column = segment/4 for the 4-SSD array.
-	for _, segment := range []int64{512 << 10, 2 << 20, 8 << 20} {
-		column := segment / 4 / (o.Scale / 4)
-		if column < 4*blockdev.PageSize {
-			column = 4 * blockdev.PageSize
-		}
-		row := []string{fmt.Sprintf("%d KB", segment>>10)}
-		for _, g := range groupNames() {
-			run, err := srcGroupRun(o, g, func(c *src.Config) { c.SegmentColumn = column })
-			if err != nil {
-				return nil, fmt.Errorf("ablation segment %d %s: %w", segment, g, err)
+	segments := []int64{512 << 10, 2 << 20, 8 << 20}
+	results, err := gridCells(o, "ablation-segsize", len(segments), len(groups),
+		func(r, c int) string { return fmt.Sprintf("%dKB/%s", segments[r]>>10, groups[c]) },
+		func(r, c int) (GroupRun, error) {
+			segment := segments[r]
+			column := segment / 4 / (o.Scale / 4)
+			if column < 4*blockdev.PageSize {
+				column = 4 * blockdev.PageSize
 			}
-			row = append(row, f1(run.MBps))
+			run, err := srcGroupRun(o, groups[c], func(cfg *src.Config) { cfg.SegmentColumn = column })
+			if err != nil {
+				return GroupRun{}, fmt.Errorf("ablation segment %d %s: %w", segment, groups[c], err)
+			}
+			return run, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, segment := range segments {
+		row := []string{fmt.Sprintf("%d KB", segment>>10)}
+		for c := range groups {
+			row = append(row, f1(results[r][c].MBps))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -79,14 +101,25 @@ func AblationGCSplit(opts Options) ([]*Table, error) {
 		Title:   "Hot/cold separation of S2S copies (paper §6 future work), MB/s (I/O amplification)",
 		Columns: []string{"Group", "Mixed buffer", "Separate GC buffer"},
 	}
-	for _, g := range groupNames() {
-		row := []string{g}
-		for _, split := range []bool{false, true} {
-			run, err := srcGroupRun(o, g, func(c *src.Config) { c.SeparateGCBuffer = split })
+	splits := []bool{false, true}
+	groups := groupNames()
+	results, err := gridCells(o, "ablation-gcsplit", len(groups), len(splits),
+		func(r, c int) string { return fmt.Sprintf("%s/split=%v", groups[r], splits[c]) },
+		func(r, c int) (GroupRun, error) {
+			split := splits[c]
+			run, err := srcGroupRun(o, groups[r], func(cfg *src.Config) { cfg.SeparateGCBuffer = split })
 			if err != nil {
-				return nil, fmt.Errorf("ablation gcsplit %v %s: %w", split, g, err)
+				return GroupRun{}, fmt.Errorf("ablation gcsplit %v %s: %w", split, groups[r], err)
 			}
-			row = append(row, fmt.Sprintf("%s(%s)", f1(run.MBps), f2(run.IOAmp)))
+			return run, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, g := range groups {
+		row := []string{g}
+		for c := range splits {
+			row = append(row, fmt.Sprintf("%s(%s)", f1(results[r][c].MBps), f2(results[r][c].IOAmp)))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -104,14 +137,25 @@ func AblationDegraded(opts Options) ([]*Table, error) {
 		Columns: []string{"Group", "PC", "NPC"},
 		Notes:   []string{"§4.3: with PC, caching service is not disrupted by SSD failure; NPC refetches clean data"},
 	}
-	for _, g := range groupNames() {
-		row := []string{g}
-		for _, mode := range []src.ParityMode{src.PC, src.NPC} {
-			healthy, degraded, err := degradedRun(o, g, mode)
+	type pair struct{ healthy, degraded float64 }
+	modes := []src.ParityMode{src.PC, src.NPC}
+	groups := groupNames()
+	results, err := gridCells(o, "ablation-degraded", len(groups), len(modes),
+		func(r, c int) string { return fmt.Sprintf("%s/%v", groups[r], modes[c]) },
+		func(r, c int) (pair, error) {
+			healthy, degraded, err := degradedRun(o, groups[r], modes[c])
 			if err != nil {
-				return nil, fmt.Errorf("ablation degraded %v %s: %w", mode, g, err)
+				return pair{}, fmt.Errorf("ablation degraded %v %s: %w", modes[c], groups[r], err)
 			}
-			row = append(row, fmt.Sprintf("%s -> %s", f1(healthy), f1(degraded)))
+			return pair{healthy, degraded}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, g := range groups {
+		row := []string{g}
+		for c := range modes {
+			row = append(row, fmt.Sprintf("%s -> %s", f1(results[r][c].healthy), f1(results[r][c].degraded)))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -178,41 +222,54 @@ func AblationAdvanced(opts Options) ([]*Table, error) {
 			"it approximates a priority queue with erase-group-aligned block writes",
 		},
 	}
-	for _, g := range groupNames() {
-		row := []string{g}
-
-		run, err := srcGroupRun(o, g, nil)
-		if err != nil {
-			return nil, fmt.Errorf("ablation advanced src %s: %w", g, err)
-		}
-		row = append(row, fmt.Sprintf("%s(%s)", f1(run.MBps), f2(run.HitRatio)))
-
-		span, err := groupSpan(g, o)
-		if err != nil {
-			return nil, err
-		}
-		arr, ssds, err := buildRAIDVolume(o, raid.Level0, 128<<10)
-		if err != nil {
-			return nil, err
-		}
-		prim, err := newPrimary(span)
-		if err != nil {
-			return nil, err
-		}
-		ripq, err := ripqsim.New(ripqsim.Config{
-			Cache:      arr,
-			SSDs:       ssds,
-			Primary:    prim,
-			BlockBytes: 4 * o.superblock(), // array-wide erase group
+	systems := []string{"src", "ripq"}
+	groups := groupNames()
+	results, err := gridCells(o, "ablation-advanced", len(groups), len(systems),
+		func(r, c int) string { return fmt.Sprintf("%s/%s", groups[r], systems[c]) },
+		func(r, c int) (GroupRun, error) {
+			g := groups[r]
+			if c == 0 {
+				run, err := srcGroupRun(o, g, nil)
+				if err != nil {
+					return GroupRun{}, fmt.Errorf("ablation advanced src %s: %w", g, err)
+				}
+				return run, nil
+			}
+			span, err := groupSpan(g, o)
+			if err != nil {
+				return GroupRun{}, err
+			}
+			arr, ssds, err := buildRAIDVolume(o, raid.Level0, 128<<10)
+			if err != nil {
+				return GroupRun{}, err
+			}
+			prim, err := newPrimary(span)
+			if err != nil {
+				return GroupRun{}, err
+			}
+			ripq, err := ripqsim.New(ripqsim.Config{
+				Cache:      arr,
+				SSDs:       ssds,
+				Primary:    prim,
+				BlockBytes: 4 * o.superblock(), // array-wide erase group
+			})
+			if err != nil {
+				return GroupRun{}, err
+			}
+			run, err := runGroup(ripq, g, o)
+			if err != nil {
+				return GroupRun{}, fmt.Errorf("ablation advanced ripq %s: %w", g, err)
+			}
+			return run, nil
 		})
-		if err != nil {
-			return nil, err
+	if err != nil {
+		return nil, err
+	}
+	for r, g := range groups {
+		row := []string{g}
+		for c := range systems {
+			row = append(row, fmt.Sprintf("%s(%s)", f1(results[r][c].MBps), f2(results[r][c].HitRatio)))
 		}
-		rrun, err := runGroup(ripq, g, o)
-		if err != nil {
-			return nil, fmt.Errorf("ablation advanced ripq %s: %w", g, err)
-		}
-		row = append(row, fmt.Sprintf("%s(%s)", f1(rrun.MBps), f2(rrun.HitRatio)))
 		t.Rows = append(t.Rows, row)
 	}
 	return []*Table{t}, nil

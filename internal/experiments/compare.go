@@ -57,23 +57,34 @@ func Figure7(opts Options) ([]*Table, error) {
 	hit := mk("Figure 7(c)", "Hit ratio")
 	hit.Notes = []string{"paper: Sel-GC's hit ratio exceeds S2D's"}
 
-	for _, sys := range systems {
-		rowT := []string{sys.name}
-		rowA := []string{sys.name}
-		rowH := []string{sys.name}
-		for _, g := range groupNames() {
+	groups := groupNames()
+	results, err := gridCells(o, "fig7", len(systems), len(groups),
+		func(r, c int) string { return fmt.Sprintf("%s/%s", systems[r].name, groups[c]) },
+		func(r, c int) (GroupRun, error) {
+			sys, g := systems[r], groups[c]
 			span, err := groupSpan(g, o)
 			if err != nil {
-				return nil, err
+				return GroupRun{}, err
 			}
 			cache, err := sys.build(span)
 			if err != nil {
-				return nil, fmt.Errorf("figure 7 %s: %w", sys.name, err)
+				return GroupRun{}, fmt.Errorf("figure 7 %s: %w", sys.name, err)
 			}
 			run, err := runGroup(cache, g, o)
 			if err != nil {
-				return nil, fmt.Errorf("figure 7 %s %s: %w", sys.name, g, err)
+				return GroupRun{}, fmt.Errorf("figure 7 %s %s: %w", sys.name, g, err)
 			}
+			return run, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, sys := range systems {
+		rowT := []string{sys.name}
+		rowA := []string{sys.name}
+		rowH := []string{sys.name}
+		for c := range groups {
+			run := results[r][c]
 			rowT = append(rowT, f1(run.MBps))
 			rowA = append(rowA, f2(run.IOAmp))
 			rowH = append(rowH, f2(run.HitRatio))

@@ -104,24 +104,35 @@ func Figure6(opts Options) ([]*Table, error) {
 	}
 	tPerf.Notes = notes
 
-	for _, p := range products {
+	groups := groupNames()
+	results, err := gridCells(o, "fig6", len(products), len(groups),
+		func(r, c int) string { return fmt.Sprintf("%s/%s", products[r].Label, groups[c]) },
+		func(r, c int) (GroupRun, error) {
+			p, g := products[r], groups[c]
+			span, err := groupSpan(g, o)
+			if err != nil {
+				return GroupRun{}, err
+			}
+			cache, err := productCache(o, p, span)
+			if err != nil {
+				return GroupRun{}, fmt.Errorf("figure 6 %s: %w", p.Label, err)
+			}
+			run, err := runGroup(cache, g, o)
+			if err != nil {
+				return GroupRun{}, fmt.Errorf("figure 6 %s %s: %w", p.Label, g, err)
+			}
+			return run, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, p := range products {
 		rowPerf := []string{p.Label}
 		rowLife := []string{p.Label}
 		rowPerfD := []string{p.Label}
 		rowLifeD := []string{p.Label}
-		for _, g := range groupNames() {
-			span, err := groupSpan(g, o)
-			if err != nil {
-				return nil, err
-			}
-			cache, err := productCache(o, p, span)
-			if err != nil {
-				return nil, fmt.Errorf("figure 6 %s: %w", p.Label, err)
-			}
-			run, err := runGroup(cache, g, o)
-			if err != nil {
-				return nil, fmt.Errorf("figure 6 %s %s: %w", p.Label, g, err)
-			}
+		for c := range groups {
+			run := results[r][c]
 			waf := run.WAF
 			if waf <= 0 {
 				waf = 1

@@ -8,7 +8,8 @@ import (
 
 // Section 5.2: exploration of the SRC design space (Table 7). Each
 // experiment drives the Write, Mixed, and Read trace groups against SRC
-// with one parameter varied from the bold defaults.
+// with one parameter varied from the bold defaults. Every (parameter,
+// group) point is an independent cell fanned out by runCells.
 
 // srcGroupRun builds a fresh SRC with the tweak applied and runs one trace
 // group.
@@ -32,6 +33,7 @@ func Figure4(opts Options) ([]*Table, error) {
 	// Paper sweep: 2..1024 MB around the measured 256 MB. Scaled by
 	// o.Scale; labels report the unscaled equivalents.
 	sizes := []int64{2 << 20, 8 << 20, 32 << 20, 256 << 20, 1024 << 20}
+	groups := groupNames()
 	tp := &Table{
 		ID:      "Figure 4(a)",
 		Title:   "SRC throughput (MB/s) vs erase group size (U_MAX 90%)",
@@ -44,24 +46,31 @@ func Figure4(opts Options) ([]*Table, error) {
 		Columns: []string{"Erase group (paper-scale)"},
 		Notes:   []string{"paper shape: amplification is lowest at the smallest size (better fill of small units)"},
 	}
-	for _, g := range groupNames() {
-		tp.Columns = append(tp.Columns, g)
-		amp.Columns = append(amp.Columns, g)
+	tp.Columns = append(tp.Columns, groups...)
+	amp.Columns = append(amp.Columns, groups...)
+	results, err := gridCells(o, "fig4", len(sizes), len(groups),
+		func(r, c int) string { return fmt.Sprintf("%dMB/%s", sizes[r]>>20, groups[c]) },
+		func(r, c int) (GroupRun, error) {
+			size := sizes[r]
+			scaled := size / o.Scale
+			if scaled < 4*o.segColumn() {
+				scaled = 4 * o.segColumn()
+			}
+			run, err := srcGroupRun(o, groups[c], func(cfg *src.Config) { cfg.EraseGroupSize = scaled })
+			if err != nil {
+				return GroupRun{}, fmt.Errorf("figure 4 size %d group %s: %w", size, groups[c], err)
+			}
+			return run, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	for _, size := range sizes {
-		scaled := size / o.Scale
-		if scaled < 4*o.segColumn() {
-			scaled = 4 * o.segColumn()
-		}
+	for r, size := range sizes {
 		rowT := []string{fmt.Sprintf("%d MB", size>>20)}
 		rowA := []string{fmt.Sprintf("%d MB", size>>20)}
-		for _, g := range groupNames() {
-			run, err := srcGroupRun(o, g, func(c *src.Config) { c.EraseGroupSize = scaled })
-			if err != nil {
-				return nil, fmt.Errorf("figure 4 size %d group %s: %w", size, g, err)
-			}
-			rowT = append(rowT, f1(run.MBps))
-			rowA = append(rowA, f2(run.IOAmp))
+		for c := range groups {
+			rowT = append(rowT, f1(results[r][c].MBps))
+			rowA = append(rowA, f2(results[r][c].IOAmp))
 		}
 		tp.Rows = append(tp.Rows, rowT)
 		amp.Rows = append(amp.Rows, rowA)
@@ -87,14 +96,24 @@ func Table8(opts Options) ([]*Table, error) {
 		victim src.VictimPolicy
 	}
 	combos := []combo{{src.S2D, src.FIFO}, {src.S2D, src.Greedy}, {src.SelGC, src.FIFO}, {src.SelGC, src.Greedy}}
-	for _, g := range groupNames() {
-		row := []string{g}
-		for _, cb := range combos {
-			run, err := srcGroupRun(o, g, func(c *src.Config) { c.GC = cb.gc; c.Victim = cb.victim })
+	groups := groupNames()
+	results, err := gridCells(o, "table8", len(groups), len(combos),
+		func(r, c int) string { return fmt.Sprintf("%s/%v/%v", groups[r], combos[c].gc, combos[c].victim) },
+		func(r, c int) (GroupRun, error) {
+			cb := combos[c]
+			run, err := srcGroupRun(o, groups[r], func(cfg *src.Config) { cfg.GC = cb.gc; cfg.Victim = cb.victim })
 			if err != nil {
-				return nil, fmt.Errorf("table 8 %v/%v %s: %w", cb.gc, cb.victim, g, err)
+				return GroupRun{}, fmt.Errorf("table 8 %v/%v %s: %w", cb.gc, cb.victim, groups[r], err)
 			}
-			row = append(row, fmt.Sprintf("%s(%s)", f1(run.MBps), f2(run.IOAmp)))
+			return run, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, g := range groups {
+		row := []string{g}
+		for c := range combos {
+			row = append(row, fmt.Sprintf("%s(%s)", f1(results[r][c].MBps), f2(results[r][c].IOAmp)))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -105,6 +124,7 @@ func Table8(opts Options) ([]*Table, error) {
 func Figure5(opts Options) ([]*Table, error) {
 	o := opts.normalize()
 	umaxes := []float64{0.30, 0.50, 0.70, 0.90, 0.95}
+	groups := groupNames()
 	tp := &Table{
 		ID:      "Figure 5(a)",
 		Title:   "SRC throughput (MB/s) vs U_MAX (Sel-GC, erase group 256 MB paper-scale)",
@@ -116,20 +136,27 @@ func Figure5(opts Options) ([]*Table, error) {
 		Title:   "SRC I/O amplification vs U_MAX",
 		Columns: []string{"U_MAX"},
 	}
-	for _, g := range groupNames() {
-		tp.Columns = append(tp.Columns, g)
-		amp.Columns = append(amp.Columns, g)
+	tp.Columns = append(tp.Columns, groups...)
+	amp.Columns = append(amp.Columns, groups...)
+	results, err := gridCells(o, "fig5", len(umaxes), len(groups),
+		func(r, c int) string { return fmt.Sprintf("umax%.0f%%/%s", umaxes[r]*100, groups[c]) },
+		func(r, c int) (GroupRun, error) {
+			u := umaxes[r]
+			run, err := srcGroupRun(o, groups[c], func(cfg *src.Config) { cfg.UMax = u })
+			if err != nil {
+				return GroupRun{}, fmt.Errorf("figure 5 umax %v %s: %w", u, groups[c], err)
+			}
+			return run, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	for _, u := range umaxes {
+	for r, u := range umaxes {
 		rowT := []string{fmt.Sprintf("%.0f%%", u*100)}
 		rowA := []string{fmt.Sprintf("%.0f%%", u*100)}
-		for _, g := range groupNames() {
-			run, err := srcGroupRun(o, g, func(c *src.Config) { c.UMax = u })
-			if err != nil {
-				return nil, fmt.Errorf("figure 5 umax %v %s: %w", u, g, err)
-			}
-			rowT = append(rowT, f1(run.MBps))
-			rowA = append(rowA, f2(run.IOAmp))
+		for c := range groups {
+			rowT = append(rowT, f1(results[r][c].MBps))
+			rowA = append(rowA, f2(results[r][c].IOAmp))
 		}
 		tp.Rows = append(tp.Rows, rowT)
 		amp.Rows = append(amp.Rows, rowA)
@@ -146,14 +173,25 @@ func Table9(opts Options) ([]*Table, error) {
 		Columns: []string{"Group", "PC", "NPC"},
 		Notes:   []string{"paper: NPC wins everywhere, most for the Write group (~18%)"},
 	}
-	for _, g := range groupNames() {
-		row := []string{g}
-		for _, mode := range []src.ParityMode{src.PC, src.NPC} {
-			run, err := srcGroupRun(o, g, func(c *src.Config) { c.Parity = mode })
+	modes := []src.ParityMode{src.PC, src.NPC}
+	groups := groupNames()
+	results, err := gridCells(o, "table9", len(groups), len(modes),
+		func(r, c int) string { return fmt.Sprintf("%s/%v", groups[r], modes[c]) },
+		func(r, c int) (GroupRun, error) {
+			mode := modes[c]
+			run, err := srcGroupRun(o, groups[r], func(cfg *src.Config) { cfg.Parity = mode })
 			if err != nil {
-				return nil, fmt.Errorf("table 9 %v %s: %w", mode, g, err)
+				return GroupRun{}, fmt.Errorf("table 9 %v %s: %w", mode, groups[r], err)
 			}
-			row = append(row, fmt.Sprintf("%s(%s)", f1(run.MBps), f2(run.IOAmp)))
+			return run, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, g := range groups {
+		row := []string{g}
+		for c := range modes {
+			row = append(row, fmt.Sprintf("%s(%s)", f1(results[r][c].MBps), f2(results[r][c].IOAmp)))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -169,14 +207,25 @@ func Table10(opts Options) ([]*Table, error) {
 		Columns: []string{"Group", "RAID-0", "RAID-4", "RAID-5"},
 		Notes:   []string{"paper shape: RAID-0 best (~20% over RAID-5); RAID-5 slightly ahead of RAID-4"},
 	}
-	for _, g := range groupNames() {
-		row := []string{g}
-		for _, lv := range []src.RAIDLevel{src.RAID0, src.RAID4, src.RAID5} {
-			run, err := srcGroupRun(o, g, func(c *src.Config) { c.Level = lv })
+	levels := []src.RAIDLevel{src.RAID0, src.RAID4, src.RAID5}
+	groups := groupNames()
+	results, err := gridCells(o, "table10", len(groups), len(levels),
+		func(r, c int) string { return fmt.Sprintf("%s/%v", groups[r], levels[c]) },
+		func(r, c int) (GroupRun, error) {
+			lv := levels[c]
+			run, err := srcGroupRun(o, groups[r], func(cfg *src.Config) { cfg.Level = lv })
 			if err != nil {
-				return nil, fmt.Errorf("table 10 %v %s: %w", lv, g, err)
+				return GroupRun{}, fmt.Errorf("table 10 %v %s: %w", lv, groups[r], err)
 			}
-			row = append(row, fmt.Sprintf("%s(%s)", f1(run.MBps), f2(run.IOAmp)))
+			return run, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, g := range groups {
+		row := []string{g}
+		for c := range levels {
+			row = append(row, fmt.Sprintf("%s(%s)", f1(results[r][c].MBps), f2(results[r][c].IOAmp)))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -193,14 +242,25 @@ func Table11(opts Options) ([]*Table, error) {
 		Columns: []string{"Group", "Per Segment", "Per Segment Group"},
 		Notes:   []string{"paper: per-segment flushing costs ~10% on writes and >40% on the Read group"},
 	}
-	for _, g := range groupNames() {
-		row := []string{g}
-		for _, fp := range []src.FlushPolicy{src.FlushPerSegment, src.FlushPerSegmentGroup} {
-			run, err := srcGroupRun(o, g, func(c *src.Config) { c.Flush = fp })
+	policies := []src.FlushPolicy{src.FlushPerSegment, src.FlushPerSegmentGroup}
+	groups := groupNames()
+	results, err := gridCells(o, "table11", len(groups), len(policies),
+		func(r, c int) string { return fmt.Sprintf("%s/%v", groups[r], policies[c]) },
+		func(r, c int) (GroupRun, error) {
+			fp := policies[c]
+			run, err := srcGroupRun(o, groups[r], func(cfg *src.Config) { cfg.Flush = fp })
 			if err != nil {
-				return nil, fmt.Errorf("table 11 %v %s: %w", fp, g, err)
+				return GroupRun{}, fmt.Errorf("table 11 %v %s: %w", fp, groups[r], err)
 			}
-			row = append(row, fmt.Sprintf("%s(%s)", f1(run.MBps), f2(run.IOAmp)))
+			return run, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, g := range groups {
+		row := []string{g}
+		for c := range policies {
+			row = append(row, fmt.Sprintf("%s(%s)", f1(results[r][c].MBps), f2(results[r][c].IOAmp)))
 		}
 		t.Rows = append(t.Rows, row)
 	}

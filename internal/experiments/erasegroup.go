@@ -35,24 +35,18 @@ func Figure2(opts Options) ([]*Table, error) {
 		t.Columns = append(t.Columns, fmt.Sprintf("OPS %d%%", ops))
 	}
 
-	type key struct {
-		size int64
-		ops  int
+	results, err := gridCells(o, "fig2", len(sizes), len(opsPcts),
+		func(r, c int) string { return fmt.Sprintf("%dKiB/ops%d%%", sizes[r]>>10, opsPcts[c]) },
+		func(r, c int) (float64, error) {
+			return eraseGroupRun(o, capacity, sizes[r], opsPcts[c])
+		})
+	if err != nil {
+		return nil, err
 	}
-	results := make(map[key]float64, len(sizes)*len(opsPcts))
-	for _, ops := range opsPcts {
-		for _, size := range sizes {
-			mbps, err := eraseGroupRun(o, capacity, size, ops)
-			if err != nil {
-				return nil, err
-			}
-			results[key{size, ops}] = mbps
-		}
-	}
-	for _, size := range sizes {
+	for r, size := range sizes {
 		row := []string{fmt.Sprintf("%d KiB", size>>10)}
-		for _, ops := range opsPcts {
-			row = append(row, f1(results[key{size, ops}]))
+		for c := range opsPcts {
+			row = append(row, f1(results[r][c]))
 		}
 		t.Rows = append(t.Rows, row)
 	}

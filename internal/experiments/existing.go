@@ -97,28 +97,31 @@ func Table2(opts Options) ([]*Table, error) {
 		Columns: []string{"Type", "WT", "WB", "Improvement (x)"},
 		Notes:   []string{"paper: Bcache 15.3 -> 65.9 (4.3x), Flashcache 5.7 -> 100.3 (17.5x)"},
 	}
-	for _, kind := range []baselineKind{kindBcache, kindFlashcache} {
-		var mbps [2]float64
-		for i, wb := range []bool{false, true} {
+	kinds := []baselineKind{kindBcache, kindFlashcache}
+	modes := []bool{false, true}
+	mbps, err := gridCells(o, "table2", len(kinds), len(modes),
+		func(r, c int) string { return fmt.Sprintf("%v/wb=%v", kinds[r], modes[c]) },
+		func(r, c int) (float64, error) {
 			dev, err := ssd.New(o.ssdConfig("ssd0"))
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			span := dev.Capacity() / 2
-			cache, err := buildBaseline(kind, dev, []blockdev.Device{dev}, span, wb)
+			cache, err := buildBaseline(kinds[r], dev, []blockdev.Device{dev}, span, modes[c])
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			mbps[i], err = fioWrite4K(cache, span, o)
-			if err != nil {
-				return nil, err
-			}
-		}
+			return fioWrite4K(cache, span, o)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, kind := range kinds {
 		improvement := 0.0
-		if mbps[0] > 0 {
-			improvement = mbps[1] / mbps[0]
+		if mbps[r][0] > 0 {
+			improvement = mbps[r][1] / mbps[r][0]
 		}
-		t.Rows = append(t.Rows, []string{kind.String(), f1(mbps[0]), f1(mbps[1]), f1(improvement)})
+		t.Rows = append(t.Rows, []string{kind.String(), f1(mbps[r][0]), f1(mbps[r][1]), f1(improvement)})
 	}
 	return []*Table{t}, nil
 }
@@ -194,15 +197,20 @@ func Table3(opts Options) ([]*Table, error) {
 			flush:   variant{reqBytes: blockdev.PageSize, pattern: workload.UniformRandom, flushEvery: 32, fraction: 4},
 		},
 	}
-	for _, v := range variants {
-		noFlush, err := run(v.noFlush)
-		if err != nil {
-			return nil, err
-		}
-		withFlush, err := run(v.flush)
-		if err != nil {
-			return nil, err
-		}
+	settings := []string{"noflush", "flush"}
+	mbps, err := gridCells(o, "table3", len(variants), len(settings),
+		func(r, c int) string { return fmt.Sprintf("%s/%s", variants[r].name, settings[c]) },
+		func(r, c int) (float64, error) {
+			if c == 0 {
+				return run(variants[r].noFlush)
+			}
+			return run(variants[r].flush)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, v := range variants {
+		noFlush, withFlush := mbps[r][0], mbps[r][1]
 		reduction := 0.0
 		if withFlush > 0 {
 			reduction = noFlush / withFlush
@@ -227,23 +235,28 @@ func Figure1(opts Options) ([]*Table, error) {
 		},
 	}
 	levels := []raid.Level{raid.Level0, raid.Level1, raid.Level4, raid.Level5}
-	for _, kind := range []baselineKind{kindBcache, kindFlashcache} {
-		row := []string{kind.String()}
-		for _, lv := range levels {
-			arr, ssds, err := buildRAIDVolume(o, lv, blockdev.PageSize)
+	kinds := []baselineKind{kindBcache, kindFlashcache}
+	mbps, err := gridCells(o, "fig1", len(kinds), len(levels),
+		func(r, c int) string { return fmt.Sprintf("%v/%v", kinds[r], levels[c]) },
+		func(r, c int) (float64, error) {
+			arr, ssds, err := buildRAIDVolume(o, levels[c], blockdev.PageSize)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			span := o.cachePerSSD() / 2 // fits every level's cache capacity
-			cache, err := buildBaseline(kind, arr, ssds, span, true)
+			cache, err := buildBaseline(kinds[r], arr, ssds, span, true)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			mbps, err := fioWrite4K(cache, span, o)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, f1(mbps))
+			return fioWrite4K(cache, span, o)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for r, kind := range kinds {
+		row := []string{kind.String()}
+		for c := range levels {
+			row = append(row, f1(mbps[r][c]))
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -37,6 +37,14 @@ type Options struct {
 	Requests int64
 	// Seed perturbs workload generation.
 	Seed int64
+	// Parallel caps the number of experiment cells simulated concurrently
+	// (default 1: serial). Cells are independent virtual-time simulations
+	// and results are assembled in canonical order, so any value yields
+	// byte-identical tables.
+	Parallel int
+	// Progress, when non-nil, receives one event per completed cell. With
+	// Parallel > 1 it may be invoked from multiple goroutines.
+	Progress func(CellEvent)
 }
 
 func (o Options) normalize() Options {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
@@ -10,8 +11,10 @@ import (
 
 // testOpts keeps experiment tests fast; the shapes asserted here are the
 // paper's qualitative claims and must hold even at a reduced budget.
+// Cells fan out over the host's cores — results are identical to serial
+// (TestParallelMatchesSerial pins that), only wall-clock changes.
 func testOpts() Options {
-	return Options{Scale: 16, Requests: 80_000}
+	return Options{Scale: 16, Requests: 80_000, Parallel: runtime.GOMAXPROCS(0)}
 }
 
 // cell parses a numeric table cell, tolerating the "MB/s(amp)" form.
@@ -308,7 +311,7 @@ func TestFigure4And5Run(t *testing.T) {
 	// Smoke: the sweeps complete and produce full tables (their shapes are
 	// scale-sensitive; srcbench output and EXPERIMENTS.md carry the full
 	// assessment).
-	o := Options{Scale: 16, Requests: 40_000}
+	o := Options{Scale: 16, Requests: 40_000, Parallel: runtime.GOMAXPROCS(0)}
 	for _, f := range []func(Options) ([]*Table, error){Figure4, Figure5} {
 		tables, err := f(o)
 		if err != nil {

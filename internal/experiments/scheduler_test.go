@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCellsExecutesAll checks that every cell runs exactly once at any
+// parallelism, including worker counts above the cell count.
+func TestRunCellsExecutesAll(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 4, 100} {
+		var ran [17]atomic.Int64
+		cells := make([]Cell, len(ran))
+		for i := range cells {
+			i := i
+			cells[i] = Cell{Label: fmt.Sprintf("cell%d", i), Run: func() error {
+				ran[i].Add(1)
+				return nil
+			}}
+		}
+		o := Options{Parallel: par}
+		if err := o.runCells("test", cells); err != nil {
+			t.Fatalf("parallel %d: %v", par, err)
+		}
+		for i := range ran {
+			if n := ran[i].Load(); n != 1 {
+				t.Fatalf("parallel %d: cell %d ran %d times", par, i, n)
+			}
+		}
+	}
+}
+
+// TestRunCellsDeterministicError checks that with several failing cells the
+// reported error is always the lowest-indexed one — what a serial run
+// would hit first — regardless of scheduling.
+func TestRunCellsDeterministicError(t *testing.T) {
+	errA := errors.New("cell 2 failed")
+	errB := errors.New("cell 5 failed")
+	for _, par := range []int{1, 4} {
+		cells := make([]Cell, 8)
+		for i := range cells {
+			i := i
+			cells[i] = Cell{Run: func() error {
+				switch i {
+				case 2:
+					return errA
+				case 5:
+					return errB
+				}
+				return nil
+			}}
+		}
+		o := Options{Parallel: par}
+		if err := o.runCells("test", cells); !errors.Is(err, errA) {
+			t.Fatalf("parallel %d: got %v, want %v", par, err, errA)
+		}
+	}
+}
+
+// TestRunCellsProgress checks that the progress callback sees every cell
+// once with a consistent total, and that errors are reported through it.
+func TestRunCellsProgress(t *testing.T) {
+	boom := errors.New("boom")
+	var mu sync.Mutex
+	seen := make(map[int]CellEvent)
+	o := Options{Parallel: 3, Progress: func(ev CellEvent) {
+		mu.Lock()
+		defer mu.Unlock()
+		if _, dup := seen[ev.Index]; dup {
+			t.Errorf("cell %d reported twice", ev.Index)
+		}
+		seen[ev.Index] = ev
+	}}
+	cells := make([]Cell, 6)
+	for i := range cells {
+		i := i
+		cells[i] = Cell{Label: fmt.Sprintf("c%d", i), Run: func() error {
+			if i == 4 {
+				return boom
+			}
+			return nil
+		}}
+	}
+	if err := o.runCells("exp", cells); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if len(seen) != len(cells) {
+		t.Fatalf("progress saw %d cells, want %d", len(seen), len(cells))
+	}
+	for i, ev := range seen {
+		if ev.Experiment != "exp" || ev.Total != len(cells) {
+			t.Fatalf("cell %d event malformed: %+v", i, ev)
+		}
+		if (ev.Err != nil) != (i == 4) {
+			t.Fatalf("cell %d error mismatch: %v", i, ev.Err)
+		}
+	}
+}
+
+// TestGridCellsCanonicalOrder checks that grid results land in [row][col]
+// position regardless of completion order.
+func TestGridCellsCanonicalOrder(t *testing.T) {
+	o := Options{Parallel: 4}
+	got, err := gridCells(o, "grid", 3, 5,
+		func(r, c int) string { return fmt.Sprintf("%d,%d", r, c) },
+		func(r, c int) (int, error) { return 100*r + c, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 5; c++ {
+			if got[r][c] != 100*r+c {
+				t.Fatalf("result [%d][%d] = %d", r, c, got[r][c])
+			}
+		}
+	}
+}
+
+// renderAll renders a result set the way srcbench does.
+func renderAll(tables []*Table) string {
+	var buf bytes.Buffer
+	for _, tbl := range tables {
+		tbl.Fprint(&buf)
+	}
+	return buf.String()
+}
+
+// TestParallelMatchesSerial is the tentpole guarantee: a multi-cell
+// experiment fanned out over 4 workers renders byte-identical tables to
+// the serial run. Run under -race (CI does) this also exercises the
+// scheduler and a full cross-section of the simulation stack — SRC over
+// SSDs over NAND, trace synthesis, the bench runner — for data races
+// between concurrently simulated cells.
+func TestParallelMatchesSerial(t *testing.T) {
+	base := Options{Scale: 16, Requests: 15_000}
+	for _, exp := range []struct {
+		name string
+		run  func(Options) ([]*Table, error)
+	}{
+		{"table8", Table8}, // 12 SRC cells: GC × victim policy × trace group
+		{"table2", Table2}, // 4 baseline cells: Bcache/Flashcache × WT/WB
+	} {
+		serialOpts := base
+		serialOpts.Parallel = 1
+		serial, err := exp.run(serialOpts)
+		if err != nil {
+			t.Fatalf("%s serial: %v", exp.name, err)
+		}
+		parallelOpts := base
+		parallelOpts.Parallel = 4
+		parallel, err := exp.run(parallelOpts)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", exp.name, err)
+		}
+		if s, p := renderAll(serial), renderAll(parallel); s != p {
+			t.Errorf("%s: parallel output differs from serial\n--- serial ---\n%s--- parallel ---\n%s", exp.name, s, p)
+		}
+	}
+}

@@ -43,7 +43,7 @@ func (c *Cache) gc(at vtime.Time) error {
 		// Sel-GC copies while utilization is below U_MAX; S2D otherwise.
 		// A fully live victim is always destaged: copying it would make no
 		// space.
-		copyMode := c.cfg.GC == SelGC && c.Utilization() <= c.cfg.UMax && g.valid < g.paycap
+		copyMode := c.copyEligible() && g.valid < g.paycap
 		live, readDone, err := c.evacuate(at, victim, copyMode)
 		if err != nil {
 			return err
@@ -61,6 +61,14 @@ func (c *Cache) gc(at vtime.Time) error {
 		}
 	}
 	return nil
+}
+
+// copyEligible reports whether Sel-GC may copy live data back into the log
+// (S2S): strictly while utilization is below U_MAX (paper §4.2). At or
+// above U_MAX the cache is too full for copying to converge, and GC falls
+// back to S2D.
+func (c *Cache) copyEligible() bool {
+	return c.cfg.GC == SelGC && c.Utilization() < c.cfg.UMax
 }
 
 // pickVictim chooses the group to reclaim: the oldest-filled group under
@@ -249,10 +257,10 @@ func (c *Cache) reinsert(at vtime.Time, live []liveEntry) error {
 			if !c.hot.Get(e.lba) {
 				continue // cold clean data: discarding it costs nothing
 			}
-			c.hot.Clear(e.lba)
 			if _, ok := c.mapping[e.lba]; ok {
-				continue // superseded while gathering
+				continue // superseded while gathering: the live copy keeps the hot bit
 			}
+			c.hot.Clear(e.lba)
 			slot := c.cleanBuf.Append(e.lba, e.tag)
 			c.mapping[e.lba] = entry{state: stateBufClean, loc: int64(slot)}
 			c.counters.GCCopyBytes += blockdev.PageSize

@@ -89,6 +89,11 @@ func (h *Histogram) Percentile(p float64) vtime.Duration {
 	if rank < 1 {
 		rank = 1
 	}
+	if rank >= h.n {
+		// The terminal rank is the largest observation, which is tracked
+		// exactly; a bucket lower bound would under-report it.
+		return h.max
+	}
 	var seen int64
 	for i := range h.counts {
 		seen += h.counts[i]

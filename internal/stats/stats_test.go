@@ -65,6 +65,43 @@ func TestPercentileApproximation(t *testing.T) {
 	}
 }
 
+func TestPercentile100EqualsMax(t *testing.T) {
+	// Adversarial inputs: observations far above their bucket's lower
+	// bound, where the pre-fix Percentile(100) under-reported Max().
+	cases := [][]vtime.Duration{
+		{1<<40 + 12345},
+		{1, 1<<30 + 7},
+		{3, 5, 7, 1<<50 - 1},
+		{1 << 20, 1<<20 + 1},
+	}
+	for _, vs := range cases {
+		var h Histogram
+		for _, v := range vs {
+			h.Observe(v)
+		}
+		if got := h.Percentile(100); got != h.Max() {
+			t.Fatalf("inputs %v: p100 = %v, max %v", vs, got, h.Max())
+		}
+		// Over-range percentiles clamp to the same exact maximum.
+		if got := h.Percentile(200); got != h.Max() {
+			t.Fatalf("inputs %v: p200 = %v, max %v", vs, got, h.Max())
+		}
+	}
+	// The invariant holds at every prefix of a random stream.
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(vtime.Duration(rng.Int63()))
+		if got := h.Percentile(100); got != h.Max() {
+			t.Fatalf("after %d observations: p100 = %v, max %v", i+1, got, h.Max())
+		}
+	}
+	// Sub-terminal percentiles still never exceed the maximum.
+	if h.Percentile(99.9) > h.Max() {
+		t.Fatal("p99.9 above max")
+	}
+}
+
 func TestMerge(t *testing.T) {
 	var a, b Histogram
 	a.Observe(vtime.Millisecond)
