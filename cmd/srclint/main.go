@@ -1,0 +1,36 @@
+// Command srclint checks this repository's determinism and I/O-error
+// contracts (DESIGN.md, "Determinism contract"):
+//
+//	wallclock   simulation packages must use internal/vtime, never the host clock
+//	seededrand  randomness comes from injected seeded *rand.Rand values only
+//	maprange    map iteration order must not reach slices or writers unsorted
+//	ioerr       blockdev/raid I/O errors must never be discarded
+//
+// Run standalone (srclint ./...) or as a vet tool:
+//
+//	go build -o bin/srclint ./cmd/srclint
+//	go vet -vettool=$PWD/bin/srclint ./...
+//
+// Suppress an individual finding with //srclint:allow <check> [reason] on
+// or directly above the offending line.
+package main
+
+import (
+	"os"
+
+	"srccache/internal/analysis"
+	"srccache/internal/analysis/driver"
+	"srccache/internal/analysis/ioerr"
+	"srccache/internal/analysis/maprange"
+	"srccache/internal/analysis/seededrand"
+	"srccache/internal/analysis/wallclock"
+)
+
+func main() {
+	os.Exit(driver.Main([]*analysis.Analyzer{
+		wallclock.Analyzer,
+		seededrand.Analyzer,
+		maprange.Analyzer,
+		ioerr.Analyzer,
+	}))
+}

@@ -45,7 +45,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 		specs = g
 	case *name != "":
-		for _, g := range trace.Groups() {
+		for _, gname := range trace.GroupNames() {
+			g, err := trace.Group(gname)
+			if err != nil {
+				return err
+			}
 			for _, s := range g {
 				if s.Name == *name {
 					specs = append(specs, s)

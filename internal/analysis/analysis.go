@@ -1,0 +1,202 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary, just large enough to host this
+// repository's determinism and I/O-error lints (cmd/srclint).
+//
+// The real x/tools module is deliberately not imported: the build must work
+// from a bare Go toolchain with an empty module cache. Analyzers written
+// against this package follow the upstream shape (Analyzer with a Run
+// function over a Pass) so they could be ported to x/tools mechanically if
+// the dependency ever becomes available.
+//
+// Suppression: a diagnostic is suppressed when the offending line, or the
+// line directly above it, carries a
+//
+//	//srclint:allow <name>[,<name>...] [reason]
+//
+// comment naming the analyzer. Suppressions are deliberate, reviewable
+// escape hatches (e.g. the progress timers that are allowed to read the
+// wall clock).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one named check over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //srclint:allow directives. It must be a lower-case identifier.
+	Name string
+
+	// Doc is a one-line description shown by srclint's usage text.
+	Doc string
+
+	// Run applies the analyzer to a package. Diagnostics are delivered
+	// through Pass.Report; the error return is for operational failures
+	// only (it aborts the whole run).
+	Run func(*Pass) error
+}
+
+// A Pass is one application of one analyzer to one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills it in.
+	Report func(Diagnostic)
+
+	// allow maps analyzer name -> file:line positions carrying an
+	// //srclint:allow directive, built lazily from Files.
+	allow map[string]map[fileLine]bool
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name
+	Message  string
+}
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// Reportf reports a formatted diagnostic at pos unless an
+// //srclint:allow directive for this analyzer covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(p.Analyzer.Name, pos) {
+		return
+	}
+	p.Report(Diagnostic{
+		Pos:      pos,
+		Category: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether a //srclint:allow directive for the named check
+// covers pos: the directive sits either on the same line (trailing comment)
+// or on the line directly above the offending one.
+func (p *Pass) Allowed(name string, pos token.Pos) bool {
+	if p.allow == nil {
+		p.allow = parseAllowDirectives(p.Fset, p.Files)
+	}
+	lines := p.allow[name]
+	if lines == nil {
+		return false
+	}
+	posn := p.Fset.Position(pos)
+	return lines[fileLine{posn.Filename, posn.Line}] ||
+		lines[fileLine{posn.Filename, posn.Line - 1}]
+}
+
+const allowPrefix = "//srclint:allow"
+
+func parseAllowDirectives(fset *token.FileSet, files []*ast.File) map[string]map[fileLine]bool {
+	out := make(map[string]map[fileLine]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Slash)
+				at := fileLine{posn.Filename, posn.Line}
+				// Directive payload: comma/space separated names;
+				// anything after the names is free-form reason text.
+				for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					if !isCheckName(name) {
+						break // reached the reason text
+					}
+					if out[name] == nil {
+						out[name] = make(map[fileLine]bool)
+					}
+					out[name][at] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func isCheckName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < 'a' || r > 'z' {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalizePkgPath maps the package-path spellings produced by the go
+// command's vet protocol back to the underlying package path:
+// "p [p.test]" (test variant), "p.test" (generated test main) and
+// "p_test" (external test package) all normalize to "p", so a package's
+// tests inherit its contract.
+func NormalizePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimSuffix(path, ".test")
+	path = strings.TrimSuffix(path, "_test")
+	return path
+}
+
+// PathMatches reports whether the (normalized) package path equals one of
+// the target paths or ends in "/"+target. Matching by suffix keeps the
+// analyzers testable against fixture packages whose import paths carry a
+// testdata prefix.
+func PathMatches(path string, targets []string) bool {
+	path = NormalizePkgPath(path)
+	for _, t := range targets {
+		if path == t || strings.HasSuffix(path, "/"+t) {
+			return true
+		}
+	}
+	return false
+}
+
+// SimPackages lists the package-path suffixes bound by the determinism
+// contract (DESIGN.md): simulation results must be a pure function of the
+// configuration and seeds, so these packages may not consult the wall clock
+// and may not draw from global math/rand state.
+var SimPackages = []string{
+	"internal/src",
+	"internal/raid",
+	"internal/flash",
+	"internal/blockdev",
+	"internal/experiments",
+	"internal/bcachesim",
+	"internal/flashcachesim",
+	"internal/ripqsim",
+	"internal/workload",
+	"internal/ssd",
+	"internal/hdd",
+}
+
+// RandPackages extends SimPackages with the packages that generate
+// workloads and traces: they may not use global math/rand either, but they
+// legitimately never deal in wall-clock time stamps of their own.
+var RandPackages = append([]string{"internal/trace"}, SimPackages...)
+
+// IOErrPackages lists the package-path suffixes whose Read/Write/Flush/
+// Trim/Submit errors must never be discarded: dropping a blockdev or raid
+// error silently converts an injected device fault into a wrong result.
+var IOErrPackages = []string{
+	"internal/blockdev",
+	"internal/raid",
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import "testing"
+
+func TestNormalizePkgPath(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"srccache/internal/src", "srccache/internal/src"},
+		{"srccache/internal/src [srccache/internal/src.test]", "srccache/internal/src"},
+		{"srccache/internal/src.test", "srccache/internal/src"},
+		{"srccache/internal/src_test [srccache/internal/src.test]", "srccache/internal/src"},
+		{"a/tools", "a/tools"},
+	}
+	for _, tt := range tests {
+		if got := NormalizePkgPath(tt.in); got != tt.want {
+			t.Errorf("NormalizePkgPath(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPathMatches(t *testing.T) {
+	targets := []string{"internal/src", "internal/raid"}
+	tests := []struct {
+		path string
+		want bool
+	}{
+		{"srccache/internal/src", true},
+		{"internal/src", true},
+		{"fixture/internal/src", true},
+		{"srccache/internal/src [srccache/internal/src.test]", true},
+		{"srccache/internal/srcs", false},
+		{"srccache/internal/flash", false},
+		{"badinternal/src", false}, // suffix must start at a path boundary
+	}
+	for _, tt := range tests {
+		if got := PathMatches(tt.path, targets); got != tt.want {
+			t.Errorf("PathMatches(%q) = %v, want %v", tt.path, got, tt.want)
+		}
+	}
+}

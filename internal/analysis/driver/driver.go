@@ -1,0 +1,320 @@
+// Package driver runs srclint's analyzers over type-checked packages.
+//
+// Two modes share the same analysis core:
+//
+//   - Standalone: `srclint ./...` shells out to `go list -export -deps
+//     -json`, type-checks each listed target from source against the
+//     compiler's export data, and prints findings. No network and no
+//     third-party modules are involved.
+//
+//   - Vet tool: when invoked by `go vet -vettool=srclint`, the go command
+//     drives the unitchecker protocol — a -V=full version query, a -flags
+//     query, then one invocation per package with a JSON *.cfg file
+//     describing sources and export data. This is the mode CI gates on.
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"srccache/internal/analysis"
+)
+
+// Main implements the srclint command line and returns the process exit
+// code: 0 clean, 1 operational failure, 2 findings.
+func Main(analyzers []*analysis.Analyzer) int {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion(true)
+			return 0
+		case a == "-V" || a == "--V":
+			printVersion(false)
+			return 0
+		case a == "-flags" || a == "--flags":
+			// The go command queries the tool's flag set; srclint has no
+			// tool-level flags beyond the protocol ones handled here.
+			fmt.Println("[]")
+			return 0
+		case a == "-h" || a == "--help" || a == "-help":
+			usage(analyzers)
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vetMode(analyzers, args[0])
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	return standalone(analyzers, args)
+}
+
+func usage(analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "srclint: determinism and I/O-error lints for this repository\n\n")
+	fmt.Fprintf(os.Stderr, "usage: srclint [packages]           (standalone, defaults to ./...)\n")
+	fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which srclint) ./...\n\nchecks:\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nsuppress a finding with `//srclint:allow <check> [reason]` on or above the line\n")
+}
+
+// printVersion emits the version line the go command uses as the tool's
+// build ID; the full form hashes the binary so rebuilt tools invalidate
+// vet's result cache.
+func printVersion(full bool) {
+	name := filepath.Base(os.Args[0])
+	if !full {
+		fmt.Printf("%s version devel\n", name)
+		return
+	}
+	h := sha256.New()
+	if f, err := os.Open(os.Args[0]); err == nil {
+		io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil))
+}
+
+// checkPackage parses and type-checks one package and applies every
+// analyzer, returning the diagnostics.
+func checkPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, imp types.Importer, pkgPath, goVersion string, filenames []string) ([]analysis.Diagnostic, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%v: %s\n", fset.Position(d.Pos), d.Message)
+	}
+}
+
+// exportImporter builds a types.Importer that reads gc export data through
+// lookup tables produced either by `go list -export` or a vet.cfg.
+// importMap translates source-level import paths to canonical package
+// paths (identity when nil); packageFile locates each canonical path's
+// export data.
+func exportImporter(fset *token.FileSet, importMap map[string]string, packageFile map[string]string) types.Importer {
+	compiler := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(path string) (*types.Package, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[path]; ok {
+				path = mapped
+			}
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compiler.(types.ImporterFrom).ImportFrom(path, "", 0)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// ---- vet tool mode -------------------------------------------------------
+
+// vetConfig mirrors the subset of the go command's vet config JSON that
+// srclint needs (see cmd/go/internal/work's buildVetConfig).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func vetMode(analyzers []*analysis.Analyzer, cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "srclint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "srclint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The go command requires the facts output to exist even though
+	// srclint's analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "srclint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	goVersion := cfg.GoVersion
+	if goVersion != "" && !strings.HasPrefix(goVersion, "go") {
+		goVersion = "go" + goVersion
+	}
+	diags, err := checkPackage(analyzers, fset, imp, cfg.ImportPath, goVersion, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "srclint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	printDiags(fset, diags)
+	return 2
+}
+
+// ---- standalone mode -----------------------------------------------------
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+func standalone(analyzers []*analysis.Analyzer, patterns []string) int {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "srclint: %v\n", err)
+		return 1
+	}
+	packageFile := make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, nil, packageFile)
+	exit := 0
+	for _, p := range pkgs {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			fmt.Fprintf(os.Stderr, "srclint: %s: %s\n", p.ImportPath, p.Error.Err)
+			return 1
+		}
+		var files []string
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		diags, err := checkPackage(analyzers, fset, imp, p.ImportPath, "", files)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "srclint: %s: %v\n", p.ImportPath, err)
+			return 1
+		}
+		if len(diags) > 0 {
+			printDiags(fset, diags)
+			exit = 2
+		}
+	}
+	return exit
+}
+
+func goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v", strings.Join(patterns, " "), err)
+	}
+	return pkgs, nil
+}

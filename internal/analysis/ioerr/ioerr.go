@@ -1,0 +1,136 @@
+// Package ioerr flags call sites that discard the error from blockdev and
+// raid I/O methods.
+//
+// The paper's recovery and corruption-handling claims (PAPER.md §5) hold
+// only if injected device faults propagate to the layer that must react to
+// them; a dropped Submit/Flush/ReadBlob error silently turns a failed
+// device into a healthy-looking result. Flagged shapes: a call used as a
+// bare statement, `go`/`defer` of such a call, and assignments that send
+// the error result to the blank identifier.
+package ioerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"srccache/internal/analysis"
+)
+
+// Analyzer implements the ioerr check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ioerr",
+	Doc:  "forbid discarding errors from blockdev/raid Submit/Flush/Read*/Write*/Trim/Corrupt methods",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				check(pass, n.X, "discarded")
+			case *ast.GoStmt:
+				check(pass, n.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				check(pass, n.Call, "discarded by defer")
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && errorResultBlank(pass, n) {
+					check(pass, n.Rhs[0], "assigned to _")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// errorResultBlank reports whether the assignment's position that receives
+// the call's trailing error is the blank identifier.
+func errorResultBlank(pass *analysis.Pass, n *ast.AssignStmt) bool {
+	if len(n.Lhs) == 0 {
+		return false
+	}
+	id, ok := n.Lhs[len(n.Lhs)-1].(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// check reports a diagnostic if e is a call to an I/O-contract method whose
+// trailing error result is being dropped.
+func check(pass *analysis.Pass, e ast.Expr, how string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || !contractMethod(fn.Name()) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		return
+	}
+	if !definedInContractPackage(pass, fn, s.Recv()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error from %s.%s %s; blockdev/raid I/O errors must be handled (//srclint:allow ioerr to override)",
+		recvName(s.Recv()), fn.Name(), how)
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// contractMethod reports whether the method name falls under the I/O-error
+// contract.
+func contractMethod(name string) bool {
+	switch name {
+	case "Submit", "Flush", "Trim", "Corrupt":
+		return true
+	}
+	return strings.HasPrefix(name, "Read") || strings.HasPrefix(name, "Write")
+}
+
+// definedInContractPackage reports whether either the method's defining
+// package or the receiver's named type's package is a contract package
+// (internal/blockdev, internal/raid). Interface calls through
+// blockdev.Device match via the method's package even when the dynamic
+// implementation lives elsewhere.
+func definedInContractPackage(pass *analysis.Pass, fn *types.Func, recv types.Type) bool {
+	if fn.Pkg() != nil && analysis.PathMatches(fn.Pkg().Path(), analysis.IOErrPackages) {
+		return true
+	}
+	if n := namedOf(recv); n != nil && n.Obj().Pkg() != nil {
+		return analysis.PathMatches(n.Obj().Pkg().Path(), analysis.IOErrPackages)
+	}
+	return false
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+func recvName(t types.Type) string {
+	if n := namedOf(t); n != nil {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,15 @@
+package ioerr_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/ioerr"
+)
+
+func TestIOErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), ioerr.Analyzer,
+		"c/use",   // positive: calls into a contract package
+		"c/other", // negative: same method names elsewhere
+	)
+}

@@ -1,0 +1,18 @@
+// Fixture stand-in for the real internal/blockdev package: the analyzer
+// matches by package-path suffix, so this minimal copy exercises the same
+// matching logic the real tree does.
+package blockdev
+
+type Request struct{ Off, Len int64 }
+
+type Device interface {
+	Submit(at int64, req Request) (int64, error)
+	Flush(at int64) (int64, error)
+	Capacity() int64
+}
+
+type Content struct{}
+
+func (*Content) WriteTag(page int64, tag uint64) error { return nil }
+func (*Content) ReadTag(page int64) (uint64, error)    { return 0, nil }
+func (*Content) Trim(page, count int64) error          { return nil }

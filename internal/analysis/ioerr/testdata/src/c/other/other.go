@@ -1,0 +1,14 @@
+// Negative fixture: same method names outside a contract package are not
+// the analyzer's business.
+package other
+
+type Thing struct{}
+
+func (Thing) Write(p []byte) (int, error) { return 0, nil }
+func (Thing) Flush() error                { return nil }
+
+func use(t Thing) {
+	t.Write(nil)
+	t.Flush()
+	_ = t.Flush()
+}

@@ -1,0 +1,34 @@
+// Positive and negative cases for discarding blockdev I/O errors.
+package use
+
+import "c/internal/blockdev"
+
+func bad(dev blockdev.Device, c *blockdev.Content) {
+	dev.Submit(0, blockdev.Request{})        // want `error from Device\.Submit discarded`
+	_, _ = dev.Submit(0, blockdev.Request{}) // want `error from Device\.Submit assigned to _`
+	_ = c.WriteTag(1, 2)                     // want `error from Content\.WriteTag assigned to _`
+	tag, _ := c.ReadTag(1)                   // want `error from Content\.ReadTag assigned to _`
+	_ = tag
+	defer dev.Flush(0) // want `error from Device\.Flush discarded by defer`
+	go c.Trim(0, 1)    // want `error from Content\.Trim discarded by go statement`
+}
+
+func good(dev blockdev.Device, c *blockdev.Content) error {
+	if _, err := dev.Submit(0, blockdev.Request{}); err != nil {
+		return err
+	}
+	done, err := dev.Flush(0)
+	if err != nil {
+		return err
+	}
+	_ = done
+	return c.WriteTag(1, 2)
+}
+
+func noErrorResult(dev blockdev.Device) int64 {
+	return dev.Capacity()
+}
+
+func allowed(c *blockdev.Content) {
+	_ = c.WriteTag(1, 2) //srclint:allow ioerr teardown path, device already failed
+}

@@ -1,0 +1,12 @@
+package maprange_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/maprange"
+)
+
+func TestMapRange(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), maprange.Analyzer, "m")
+}

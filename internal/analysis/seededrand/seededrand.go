@@ -1,0 +1,142 @@
+// Package seededrand forbids global math/rand state in simulation and
+// trace-generation packages.
+//
+// Randomized components (Zipf workloads, fault injection, trace synthesis)
+// must draw from an injected, explicitly seeded *rand.Rand so a run is
+// reproducible from its configuration alone. The package-level math/rand
+// functions share hidden global state seeded per-process, and seeding a
+// source from the wall clock smuggles nondeterminism in through the back
+// door; both are flagged. Constructors (rand.New, rand.NewSource,
+// rand.NewZipf, ...) stay legal — they are how the injected generator is
+// built.
+package seededrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"srccache/internal/analysis"
+)
+
+// Analyzer implements the seededrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand functions and wall-clock seeds in simulation packages",
+	Run:  run,
+}
+
+// constructors are the package-level math/rand (and v2) functions that
+// build generator state rather than draw from the global one.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), analysis.RandPackages) {
+		return nil
+	}
+	// Nested constructors (rand.New(rand.NewSource(...))) would find the
+	// same wall-clock seed twice; report each position once.
+	reported := make(map[token.Pos]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isRandPkg(pass, sel.X) {
+				return true
+			}
+			// Only package-level functions matter; rand.Rand, rand.Source
+			// and friends resolve to type names.
+			if _, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if !constructors[name] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s uses global math/rand state; draw from an injected seeded *rand.Rand (//srclint:allow seededrand to override)",
+					name)
+				return true
+			}
+			// Constructor: make sure the seed is not derived from the
+			// wall clock (rand.NewSource(time.Now().UnixNano()) et al.).
+			if call, ok := seedCall(f, sel); ok {
+				if pos, found := wallClockIn(pass, call.Args); found && !reported[pos] {
+					reported[pos] = true
+					pass.Reportf(pos,
+						"rand.%s seed derived from the wall clock; seeds must come from configuration (//srclint:allow seededrand to override)",
+						name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRandPkg reports whether x is an identifier naming an import of
+// math/rand or math/rand/v2.
+func isRandPkg(pass *analysis.Pass, x ast.Expr) bool {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	p := pkg.Imported().Path()
+	return p == "math/rand" || p == "math/rand/v2"
+}
+
+// seedCall returns the call expression whose callee is sel, if any.
+func seedCall(f *ast.File, sel *ast.SelectorExpr) (*ast.CallExpr, bool) {
+	var out *ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && call.Fun == sel {
+			out = call
+			return false
+		}
+		return true
+	})
+	return out, out != nil
+}
+
+// wallClockIn scans the expressions for a use of time.Now.
+func wallClockIn(pass *analysis.Pass, exprs []ast.Expr) (pos token.Pos, found bool) {
+	var at ast.Node
+	for _, e := range exprs {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if at != nil {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Now" {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if ok && pkg.Imported().Path() == "time" {
+				at = sel
+				return false
+			}
+			return true
+		})
+		if at != nil {
+			return at.Pos(), true
+		}
+	}
+	return token.NoPos, false
+}

@@ -1,0 +1,15 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), seededrand.Analyzer,
+		"b/internal/flash", // positive: gated package
+		"b/cli",            // negative: outside the list
+	)
+}

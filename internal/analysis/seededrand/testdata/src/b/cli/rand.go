@@ -1,0 +1,7 @@
+// Negative fixture: packages outside the simulation/trace list may use
+// global math/rand.
+package cli
+
+import "math/rand"
+
+func Jitter() int { return rand.Intn(100) }

@@ -1,0 +1,11 @@
+// Negative fixture: tooling packages outside the simulation list may use
+// the wall clock freely.
+package tools
+
+import "time"
+
+func Stopwatch() time.Duration {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(t0)
+}

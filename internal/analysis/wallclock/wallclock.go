@@ -1,0 +1,65 @@
+// Package wallclock forbids reading the wall clock in simulation packages.
+//
+// Every experiment table must be byte-identical across runs and across
+// parallelism levels (ROADMAP, PR 1), so simulation code operates on
+// internal/vtime exclusively. time.Duration values and constants remain
+// fine — only the functions that observe or wait on the host clock are
+// banned. The two legitimate progress-timer sites carry
+// //srclint:allow wallclock directives.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"srccache/internal/analysis"
+)
+
+// Analyzer implements the wallclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid time.Now/Since/Sleep/Tick etc. in simulation packages (use internal/vtime)",
+	Run:  run,
+}
+
+// banned lists the time package functions that observe or wait on the host
+// clock. Conversions and constants (time.Duration, time.Millisecond, ...)
+// are allowed: internal/vtime deliberately mirrors them.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatches(pass.Pkg.Path(), analysis.SimPackages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkg, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pkg.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock; simulation code must use internal/vtime (//srclint:allow wallclock to override)",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), wallclock.Analyzer,
+		"a/internal/src", // positive: gated package
+		"a/tools",        // negative: outside the simulation list
+	)
+}

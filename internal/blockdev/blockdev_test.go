@@ -8,6 +8,27 @@ import (
 	"srccache/internal/vtime"
 )
 
+// mustTag reads a tag, failing the test on error: content-layer reads in
+// these tests address in-range pages, so any error is a test bug.
+func mustTag(t *testing.T, c *Content, page int64) Tag {
+	t.Helper()
+	tag, err := c.ReadTag(page)
+	if err != nil {
+		t.Fatalf("ReadTag(%d): %v", page, err)
+	}
+	return tag
+}
+
+// mustBlob reads a metadata blob, failing the test on error.
+func mustBlob(t *testing.T, c *Content, page int64) []byte {
+	t.Helper()
+	b, err := c.ReadBlob(page)
+	if err != nil {
+		t.Fatalf("ReadBlob(%d): %v", page, err)
+	}
+	return b
+}
+
 func TestRequestValidate(t *testing.T) {
 	const capacity = 1 << 20
 	tests := []struct {
@@ -108,13 +129,13 @@ func TestContentWriteReadTrim(t *testing.T) {
 	if err != nil || got != DataTag(99, 1) {
 		t.Fatalf("ReadTag = %v, %v", got, err)
 	}
-	if got, _ := c.ReadTag(4); !got.IsZero() {
+	if got := mustTag(t, c, 4); !got.IsZero() {
 		t.Fatalf("unwritten page tag = %v", got)
 	}
 	if err := c.Trim(0, 16); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := c.ReadTag(3); !got.IsZero() {
+	if got := mustTag(t, c, 3); !got.IsZero() {
 		t.Fatalf("trimmed page tag = %v", got)
 	}
 	if err := c.WriteTag(16, DataTag(1, 1)); !errors.Is(err, ErrOutOfRange) {
@@ -134,11 +155,11 @@ func TestContentBlob(t *testing.T) {
 		t.Fatalf("ReadBlob = %q, %v", got, err)
 	}
 	got[0] = 'Y' // returned copy mutation must not leak back
-	again, _ := c.ReadBlob(1)
+	again := mustBlob(t, c, 1)
 	if string(again) != "segment summary" {
 		t.Fatalf("blob aliased: %q", again)
 	}
-	if b, _ := c.ReadBlob(2); b != nil {
+	if b := mustBlob(t, c, 2); b != nil {
 		t.Fatalf("empty page blob = %v", b)
 	}
 	if err := c.WriteBlob(0, make([]byte, PageSize+1)); !errors.Is(err, ErrBadRequest) {
@@ -169,13 +190,13 @@ func TestContentCrashRevertsVolatileWrites(t *testing.T) {
 	}
 	c.Crash()
 
-	if got, _ := c.ReadTag(5); got != committed {
+	if got := mustTag(t, c, 5); got != committed {
 		t.Fatalf("page 5 after crash = %v, want committed %v", got, committed)
 	}
-	if got, _ := c.ReadTag(6); !got.IsZero() {
+	if got := mustTag(t, c, 6); !got.IsZero() {
 		t.Fatalf("page 6 after crash = %v, want zero", got)
 	}
-	if b, _ := c.ReadBlob(7); b != nil {
+	if b := mustBlob(t, c, 7); b != nil {
 		t.Fatalf("page 7 blob after crash = %q, want nil", b)
 	}
 }
@@ -187,7 +208,7 @@ func TestContentCrashPreservesCommitted(t *testing.T) {
 	}
 	c.FlushContent()
 	c.Crash() // nothing volatile: no-op
-	if b, _ := c.ReadBlob(2); string(b) != "hello" {
+	if b := mustBlob(t, c, 2); string(b) != "hello" {
 		t.Fatalf("committed blob lost: %q", b)
 	}
 }
@@ -201,15 +222,14 @@ func TestContentCorruption(t *testing.T) {
 	if err := c.Corrupt(1); err != nil {
 		t.Fatal(err)
 	}
-	got, _ := c.ReadTag(1)
-	if got == want {
+	if got := mustTag(t, c, 1); got == want {
 		t.Fatal("corrupted page read back clean")
 	}
 	// Rewriting clears the corruption.
 	if err := c.WriteTag(1, want); err != nil {
 		t.Fatal(err)
 	}
-	if got, _ := c.ReadTag(1); got != want {
+	if got := mustTag(t, c, 1); got != want {
 		t.Fatalf("rewrite did not clear corruption: %v", got)
 	}
 }

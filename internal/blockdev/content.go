@@ -1,6 +1,9 @@
 package blockdev
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Content models what a device durably stores, independent of timing. Pages
 // are addressed by index (byte offset / PageSize). Each page holds a Tag;
@@ -159,8 +162,15 @@ func (c *Content) FlushContent() {
 
 // Crash discards all volatile writes, reverting dirtied pages to their last
 // committed contents. It models power failure with a volatile write cache.
+// Pages revert in ascending order so the walk is reproducible under a
+// debugger even though the reverts commute.
 func (c *Content) Crash() {
+	pages := make([]int64, 0, len(c.dirty))
 	for page := range c.dirty {
+		pages = append(pages, page)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, page := range pages {
 		if t, ok := c.shadowTags[page]; ok {
 			c.tags[page] = t
 		} else {

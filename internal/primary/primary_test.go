@@ -164,7 +164,11 @@ func TestContentIsDurableOracle(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Content().Crash()
-	if got, _ := s.Content().ReadTag(9); got != tag {
+	got, err := s.Content().ReadTag(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tag {
 		t.Fatal("flushed primary content lost on crash")
 	}
 }

@@ -128,7 +128,9 @@ func TestSeparateGCBufferContentOracle(t *testing.T) {
 			if got != want {
 				t.Fatalf("page %d wrong content", lba)
 			}
-		} else if got, _ := e.prim.Content().ReadTag(lba); got != want {
+		} else if got, err := e.prim.Content().ReadTag(lba); err != nil {
+			t.Fatal(err)
+		} else if got != want {
 			t.Fatalf("evicted page %d: primary content wrong", lba)
 		}
 	}
@@ -214,7 +216,9 @@ func TestResizeContractDestagesOverflow(t *testing.T) {
 			if got != want {
 				t.Fatalf("page %d wrong after contract", lba)
 			}
-		} else if got, _ := e.prim.Content().ReadTag(lba); got != want {
+		} else if got, err := e.prim.Content().ReadTag(lba); err != nil {
+			t.Fatal(err)
+		} else if got != want {
 			t.Fatalf("page %d neither cached nor destaged correctly", lba)
 		}
 	}

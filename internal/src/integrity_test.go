@@ -328,7 +328,9 @@ func TestReadCheckRepairsSilentCorruption(t *testing.T) {
 	}
 	// The repair rewrote the good tag: a second check passes without
 	// parity work.
-	if tag, _ := e.ssds[col].Content().ReadTag(off / blockdev.PageSize); tag != got {
+	if tag, terr := e.ssds[col].Content().ReadTag(off / blockdev.PageSize); terr != nil {
+		t.Fatal(terr)
+	} else if tag != got {
 		t.Fatal("repair did not write back the corrected page")
 	}
 }

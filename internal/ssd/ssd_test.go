@@ -289,10 +289,14 @@ func TestCrashLosesUnflushedContent(t *testing.T) {
 		t.Fatal(err)
 	}
 	d.Crash()
-	if got, _ := d.Content().ReadTag(1); got != tag {
+	if got, err := d.Content().ReadTag(1); err != nil {
+		t.Fatal(err)
+	} else if got != tag {
 		t.Fatalf("flushed tag lost: %v", got)
 	}
-	if got, _ := d.Content().ReadTag(2); !got.IsZero() {
+	if got, err := d.Content().ReadTag(2); err != nil {
+		t.Fatal(err)
+	} else if !got.IsZero() {
 		t.Fatalf("unflushed tag survived crash: %v", got)
 	}
 }
