@@ -2,6 +2,7 @@ package srccache
 
 import (
 	"fmt"
+	"math/rand"
 
 	"srccache/internal/bench"
 	"srccache/internal/blockdev"
@@ -50,8 +51,20 @@ const PageSize = blockdev.PageSize
 // failure-handling scenarios.
 type Faulty = blockdev.Faulty
 
-// NewFaulty wraps a device for fault injection.
+// NewFaulty wraps a device for fail-stop fault injection.
 func NewFaulty(dev Device) *Faulty { return blockdev.NewFaulty(dev) }
+
+// FaultPlan wraps any Device with the full fault taxonomy — latent sector
+// errors (ErrUnreadable), transient errors, fail-slow, probabilistic silent
+// corruption, and scheduled fail-stop — driven by an injected seeded
+// *rand.Rand so fault sequences are reproducible.
+type FaultPlan = blockdev.FaultPlan
+
+// NewFaultPlan wraps a device with seeded fault injection; rng may be nil
+// when only explicit injections are used.
+func NewFaultPlan(dev Device, rng *rand.Rand) *FaultPlan {
+	return blockdev.NewFaultPlan(dev, rng)
+}
 
 // Tag is the 16-byte content fingerprint of one page; DataTag derives the
 // canonical tag for a (logical block, version) pair.

@@ -5,6 +5,9 @@
 // Usage:
 //
 //	netblockd -addr 127.0.0.1:8700 -size 268435456
+//
+// SIGINT or SIGTERM drains gracefully: the listener closes, in-flight
+// requests get -drain to finish, and idle connections are dropped.
 package main
 
 import (
@@ -14,6 +17,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"srccache/internal/netblock"
 )
@@ -22,7 +27,7 @@ func main() {
 	stop := make(chan struct{})
 	go func() {
 		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		close(stop)
 	}()
@@ -37,8 +42,10 @@ func main() {
 func run(args []string, stdout io.Writer, stop <-chan struct{}, ready chan<- net.Addr) error {
 	fs := flag.NewFlagSet("netblockd", flag.ContinueOnError)
 	var (
-		addr = fs.String("addr", "127.0.0.1:8700", "listen address")
-		size = fs.Int64("size", 256<<20, "volume size in bytes")
+		addr  = fs.String("addr", "127.0.0.1:8700", "listen address")
+		size  = fs.Int64("size", 256<<20, "volume size in bytes")
+		idle  = fs.Duration("idle-timeout", 2*time.Minute, "drop connections idle this long (0 = never)")
+		drain = fs.Duration("drain", time.Second, "shutdown grace for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,6 +54,8 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}, ready chan<- net
 	if err != nil {
 		return err
 	}
+	srv.IdleTimeout = *idle
+	srv.DrainGrace = *drain
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		return err

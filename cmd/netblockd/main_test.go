@@ -15,7 +15,8 @@ func TestServeAndShutdown(t *testing.T) {
 	ready := make(chan net.Addr, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run([]string{"-addr", "127.0.0.1:0", "-size", "1048576"}, &out, stop, ready)
+		done <- run([]string{"-addr", "127.0.0.1:0", "-size", "1048576",
+			"-idle-timeout", "30s", "-drain", "100ms"}, &out, stop, ready)
 	}()
 	addr := <-ready
 

@@ -1,8 +1,9 @@
 // Failover: exercise SRC's reliability story end to end — the reason the
 // paper puts RAID under the cache at all. Dirty data is written and made
 // durable, one SSD then fails: reads keep working through on-the-fly parity
-// reconstruction, the replacement drive is rebuilt, and finally a host
-// crash is recovered from the on-SSD segment metadata (MS/ME scan).
+// reconstruction, a hot spare is rebuilt online while reads continue, and
+// finally a host crash is recovered from the on-SSD segment metadata
+// (MS/ME scan).
 package main
 
 import (
@@ -93,18 +94,51 @@ func run() error {
 	}
 	fmt.Println("all pages readable in degraded mode (parity reconstruction)")
 
-	// 3. Replace the drive and rebuild its contents from the survivors.
-	faults[failDrive].Repair()
-	if err := faults[failDrive].Content().Trim(0, ssdCap/srccache.PageSize); err != nil {
-		return err
-	}
-	faults[failDrive].Content().FlushContent()
-	rebuilt, err := cache.RebuildSSD(at, failDrive)
+	// 3. Hot-swap in a fresh drive and rebuild online: ReplaceSSD arms a
+	// background walker, RebuildStep reconstructs one segment column per
+	// call, and foreground reads keep being served throughout — degraded
+	// for ranges the walker has not reached yet.
+	freshCfg := srccache.SATAMLCConfig(fmt.Sprintf("ssd%d-spare", failDrive), ssdCap)
+	freshCfg.EraseGroupSize = egs
+	freshCfg.WriteCacheBytes = 4 << 20
+	freshDrive, err := srccache.NewSSD(freshCfg)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ssd%d rebuilt in %v of virtual time\n", failDrive, rebuilt.Sub(at))
-	at = rebuilt
+	faults[failDrive] = srccache.NewFaulty(freshDrive)
+	replacedAt := at
+	at, err = cache.ReplaceSSD(at, failDrive, faults[failDrive])
+	if err != nil {
+		return err
+	}
+	_, total := cache.RebuildProgress()
+	var steps, reads int
+	for lba := int64(0); ; lba = (lba + 1) % pages {
+		done, pending, err := cache.RebuildStep(at)
+		if err != nil {
+			return err
+		}
+		steps++
+		if done > at {
+			at = done
+		}
+		if !pending {
+			break
+		}
+		// A foreground read rides along between rebuild steps.
+		done, err = cache.Submit(at, srccache.Request{
+			Op: srccache.OpRead, Off: lba * srccache.PageSize, Len: srccache.PageSize,
+		})
+		if err != nil {
+			return fmt.Errorf("read of page %d during rebuild: %w", lba, err)
+		}
+		reads++
+		if done > at {
+			at = done
+		}
+	}
+	fmt.Printf("ssd%d rebuilt online: %d/%d segment columns in %v, %d reads served meanwhile\n",
+		failDrive, steps, total, at.Sub(replacedAt), reads)
 
 	// Verify every page's checksum post-rebuild (paper §4.1: checksums
 	// catch silent corruption; parity repairs it).

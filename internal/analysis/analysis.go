@@ -186,6 +186,7 @@ var SimPackages = []string{
 	"internal/workload",
 	"internal/ssd",
 	"internal/hdd",
+	"internal/chaos",
 }
 
 // RandPackages extends SimPackages with the packages that generate

@@ -38,6 +38,9 @@ type Counters struct {
 	DestageBytes int64
 	// GCCopyBytes is data moved SSD-to-SSD by cache-level GC (S2S).
 	GCCopyBytes int64
+	// GCSegments counts segments destaged from the dedicated GC buffer
+	// (SeparateGCBuffer mode), i.e. segments holding only GC survivors.
+	GCSegments int64
 	// MetadataBytes and ParityBytes are cache-layout overhead written to
 	// the SSDs.
 	MetadataBytes, ParityBytes int64
@@ -77,6 +80,12 @@ type Options struct {
 	// Start is the virtual time the run begins at (preconditioning may
 	// have advanced device clocks past zero).
 	Start vtime.Time
+	// Interleave, when non-nil, runs after each completed request with its
+	// completion time — background work (rebuild, scrub) riding along with
+	// foreground traffic. A returned time later than the request's
+	// completion delays the slot's next request, modeling the background
+	// work's device occupancy.
+	Interleave func(at vtime.Time) (vtime.Time, error)
 }
 
 // Result summarizes a run.
@@ -184,6 +193,13 @@ func Run(sys System, sources []workload.Source, opt Options) (*Result, error) {
 			res.WriteBytes += req.Len
 		}
 		res.Latency.Observe(done.Sub(ev.at))
+		if opt.Interleave != nil {
+			t, err := opt.Interleave(done)
+			if err != nil {
+				return res, fmt.Errorf("bench: interleaved work at %v: %w", done, err)
+			}
+			done = vtime.Max(done, t)
+		}
 		if done > res.End {
 			res.End = done
 		}

@@ -90,6 +90,13 @@ var (
 	// ErrDeviceFailed reports that the device has been failed by fault
 	// injection and cannot serve I/O.
 	ErrDeviceFailed = errors.New("blockdev: device failed")
+	// ErrUnreadable reports a latent sector error: the addressed range
+	// covers a page that cannot be read until it is rewritten. Upper layers
+	// repair it from redundancy and write it back.
+	ErrUnreadable = errors.New("blockdev: unreadable page")
+	// ErrTransient reports a transient device error; retrying the same
+	// request (after a short delay) may succeed.
+	ErrTransient = errors.New("blockdev: transient device error")
 )
 
 // Device is a block device operating in virtual time.

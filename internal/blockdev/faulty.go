@@ -1,52 +1,11 @@
 package blockdev
 
-import "srccache/internal/vtime"
+// Faulty is the original fail-stop-only fault injector, kept as an alias so
+// existing call sites (and the public srccache API) keep working. The full
+// fault taxonomy — latent sector errors, transient errors, fail-slow,
+// probabilistic silent corruption, scheduled fail-stop — lives on FaultPlan.
+type Faulty = FaultPlan
 
-// Faulty wraps a Device with fail-stop fault injection. While failed, every
-// operation returns ErrDeviceFailed; Repair restores service (modelling
-// on-the-fly replacement of a failed drive, after which RAID rebuild
-// repopulates content).
-type Faulty struct {
-	inner  Device
-	failed bool
-}
-
-var _ Device = (*Faulty)(nil)
-
-// NewFaulty wraps dev.
-func NewFaulty(dev Device) *Faulty { return &Faulty{inner: dev} }
-
-// Fail makes subsequent operations error with ErrDeviceFailed.
-func (f *Faulty) Fail() { f.failed = true }
-
-// Repair restores service. Content of the underlying device is retained;
-// callers that model drive replacement should also reset content.
-func (f *Faulty) Repair() { f.failed = false }
-
-// Failed reports whether the device is currently failed.
-func (f *Faulty) Failed() bool { return f.failed }
-
-// Submit forwards to the wrapped device unless failed.
-func (f *Faulty) Submit(at vtime.Time, req Request) (vtime.Time, error) {
-	if f.failed {
-		return at, ErrDeviceFailed
-	}
-	return f.inner.Submit(at, req)
-}
-
-// Flush forwards to the wrapped device unless failed.
-func (f *Faulty) Flush(at vtime.Time) (vtime.Time, error) {
-	if f.failed {
-		return at, ErrDeviceFailed
-	}
-	return f.inner.Flush(at)
-}
-
-// Capacity reports the wrapped device's capacity.
-func (f *Faulty) Capacity() int64 { return f.inner.Capacity() }
-
-// Stats reports the wrapped device's statistics.
-func (f *Faulty) Stats() *Stats { return f.inner.Stats() }
-
-// Content exposes the wrapped device's content store.
-func (f *Faulty) Content() *Content { return f.inner.Content() }
+// NewFaulty wraps dev with explicit fault injection only (no probabilistic
+// faults; see NewFaultPlan for the seeded models).
+func NewFaulty(dev Device) *Faulty { return NewFaultPlan(dev, nil) }

@@ -1,0 +1,532 @@
+// Package chaos is the seeded fault-injection harness for the SRC cache.
+// A Run drives one cache instance with a pseudo-random workload interleaved
+// with a pseudo-random fault schedule — transient device errors, latent
+// sector errors, silent corruption, fail-stop with hot-spare replacement and
+// online rebuild, scrub passes, and crash/recovery cycles — while checking
+// the durability contract after every hazard:
+//
+//   - an acknowledged dirty write (one made durable by Flush) is never lost:
+//     after any crash it is recovered at that version or newer, or has been
+//     destaged to primary storage at that version or newer;
+//   - the cache never serves a version newer than the newest write;
+//   - a column rebuild converges and the rebuilt data verifies;
+//   - planted silent corruption is detected (and repaired) by the scrub.
+//
+// Everything is a pure function of the seed: the workload, the fault
+// schedule, and the virtual-time interleavings, so any failure replays
+// exactly from its Options.
+package chaos
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/src"
+	"srccache/internal/vtime"
+)
+
+// Geometry mirrors the src package's test environment: 4 SSDs of 16 MiB with
+// 1 MiB erase groups and 16 KiB segment columns (4 pages per column), small
+// enough that GC, partial segments and recovery all engage within a few
+// hundred operations.
+const (
+	numSSD  = 4
+	ssdCap  = 16 << 20
+	primCap = 64 << 20
+	egs     = 1 << 20
+	segCol  = 16 << 10
+	span    = 4096 // logical pages the workload touches
+)
+
+// Options seeds one chaos run.
+type Options struct {
+	// Seed selects the workload and fault schedule. Runs with equal
+	// Options are identical.
+	Seed int64
+	// Ops is the number of top-level schedule steps (default 800).
+	Ops int
+}
+
+// Result counts what one run exercised. Two runs with equal Options produce
+// equal Results, including the state Signature.
+type Result struct {
+	Writes      int
+	Reads       int
+	Flushes     int
+	Crashes     int
+	Rebuilds    int
+	Scrubs      int
+	Transients  int
+	Unreadables int
+	Corruptions int
+	Checks      int // content verifications that passed
+
+	// Signature folds the final cache state (per-page versions and the
+	// virtual clock) into one value, so determinism checks can compare
+	// entire final states cheaply.
+	Signature uint64
+}
+
+type harness struct {
+	rng   *rand.Rand
+	cache *src.Cache
+	ssds  []*blockdev.FaultPlan
+	prim  *blockdev.MemDevice
+	at    vtime.Time
+
+	// latest mirrors the cache's per-page version counter: incremented on
+	// every host page write, reset to the recovered version after a crash.
+	latest map[int64]uint64
+	// durable snapshots latest at each successful Flush: the versions the
+	// cache has acknowledged as crash-safe.
+	durable map[int64]uint64
+
+	res Result
+}
+
+// Run executes one seeded chaos schedule and returns its counters, or the
+// first invariant violation as an error.
+func Run(o Options) (Result, error) {
+	if o.Ops <= 0 {
+		o.Ops = 800
+	}
+	h := &harness{
+		rng:     rand.New(rand.NewSource(o.Seed)),
+		latest:  make(map[int64]uint64),
+		durable: make(map[int64]uint64),
+	}
+	devs := make([]blockdev.Device, numSSD)
+	h.ssds = make([]*blockdev.FaultPlan, numSSD)
+	for i := range devs {
+		p := blockdev.NewFaultPlan(
+			blockdev.NewMemDevice(ssdCap, 10*vtime.Microsecond),
+			rand.New(rand.NewSource(o.Seed*997+int64(i)+1)),
+		)
+		devs[i] = p
+		h.ssds[i] = p
+	}
+	h.prim = blockdev.NewMemDevice(primCap, vtime.Millisecond)
+	cache, err := src.New(src.Config{
+		SSDs:           devs,
+		Primary:        h.prim,
+		EraseGroupSize: egs,
+		SegmentColumn:  segCol,
+		TrackContent:   true,
+		// The schedule injects faults far faster than any real device
+		// degrades; a huge budget keeps escalation (unit-tested
+		// separately) from fail-stopping columns mid-schedule.
+		ErrorBudget: 1 << 30,
+	})
+	if err != nil {
+		return h.res, err
+	}
+	h.cache = cache
+	for i := 0; i < o.Ops; i++ {
+		if err := h.step(); err != nil {
+			return h.res, fmt.Errorf("seed %d op %d: %w", o.Seed, i, err)
+		}
+	}
+	if err := h.verifyAll(); err != nil {
+		return h.res, fmt.Errorf("seed %d final verify: %w", o.Seed, err)
+	}
+	h.res.Signature = h.signature()
+	return h.res, nil
+}
+
+func (h *harness) step() error {
+	switch p := h.rng.Float64(); {
+	case p < 0.55:
+		return h.doWrite()
+	case p < 0.80:
+		return h.doRead()
+	case p < 0.84:
+		return h.doFlush()
+	case p < 0.87:
+		return h.doInject()
+	case p < 0.89:
+		return h.doCrash()
+	case p < 0.91:
+		return h.doRebuild()
+	case p < 0.925:
+		return h.doScrub()
+	default:
+		return h.spotCheck()
+	}
+}
+
+func (h *harness) doWrite() error {
+	lba := h.rng.Int63n(span - 8)
+	n := 1 + h.rng.Int63n(8)
+	done, err := h.cache.Submit(h.at, blockdev.Request{
+		Op: blockdev.OpWrite, Off: lba * blockdev.PageSize, Len: n * blockdev.PageSize,
+	})
+	if err != nil {
+		return fmt.Errorf("write [%d,%d): %w", lba, lba+n, err)
+	}
+	h.at = vtime.Max(h.at, done)
+	for p := lba; p < lba+n; p++ {
+		h.latest[p]++
+	}
+	h.res.Writes++
+	return nil
+}
+
+func (h *harness) doRead() error {
+	lba := h.rng.Int63n(span - 8)
+	n := 1 + h.rng.Int63n(8)
+	done, err := h.cache.Submit(h.at, blockdev.Request{
+		Op: blockdev.OpRead, Off: lba * blockdev.PageSize, Len: n * blockdev.PageSize,
+	})
+	if err != nil {
+		return fmt.Errorf("read [%d,%d): %w", lba, lba+n, err)
+	}
+	h.at = vtime.Max(h.at, done)
+	h.res.Reads++
+	return nil
+}
+
+func (h *harness) doFlush() error {
+	done, err := h.cache.Flush(h.at)
+	if err != nil {
+		return fmt.Errorf("flush: %w", err)
+	}
+	h.at = vtime.Max(h.at, done)
+	// Everything written so far is now acknowledged as durable.
+	for lba, v := range h.latest {
+		if v > 0 {
+			h.durable[lba] = v
+		}
+	}
+	h.res.Flushes++
+	return nil
+}
+
+// pickCached samples for a page currently on SSD and returns its location;
+// ok is false when the sample budget finds none.
+func (h *harness) pickCached() (lba int64, col int, page int64, ok bool) {
+	for try := 0; try < 32; try++ {
+		lba = h.rng.Int63n(span)
+		if col, page, ok = h.cache.Locate(lba); ok {
+			return lba, col, page, true
+		}
+	}
+	return 0, 0, 0, false
+}
+
+func (h *harness) doInject() error {
+	switch h.rng.Intn(3) {
+	case 0:
+		// A burst of 1–3 transient errors, capped so the outstanding
+		// stack stays within the cache's retry budget and the next I/O
+		// to the device corrects them. A deeper stack would exhaust the
+		// retries and (correctly) fail the request — an availability
+		// outcome the unit tests cover deterministically; the chaos
+		// invariants target durability.
+		d := h.rng.Intn(numSSD)
+		n := 1 + h.rng.Intn(3)
+		if left := h.ssds[d].PendingTransient(); left+n > 3 {
+			n = 3 - left
+		}
+		if n > 0 {
+			h.ssds[d].InjectTransient(n)
+			h.res.Transients++
+		}
+		return nil
+	case 1:
+		// A latent sector error under a cached page. Left outstanding:
+		// whichever path touches it next (read, GC, scrub, rebuild
+		// gating) must repair or route around it. Marks are kept on one
+		// member at a time: latent errors on two members can overlap a
+		// reconstruction run, which single-parity RAID cannot survive
+		// regardless of implementation.
+		lba, col, page, ok := h.pickCached()
+		if !ok {
+			return h.doRead()
+		}
+		for i, p := range h.ssds {
+			if i != col && p.UnreadablePages() > 0 {
+				return h.doRead()
+			}
+		}
+		h.ssds[col].InjectUnreadable(page)
+		h.res.Unreadables++
+		if h.rng.Float64() < 0.5 {
+			// Exercise the repair now via a direct read of the page.
+			done, err := h.cache.Submit(h.at, blockdev.Request{
+				Op: blockdev.OpRead, Off: lba * blockdev.PageSize, Len: blockdev.PageSize,
+			})
+			if err != nil {
+				return fmt.Errorf("read over latent error at page %d: %w", lba, err)
+			}
+			h.at = vtime.Max(h.at, done)
+		}
+		return nil
+	default:
+		// Silent corruption, then an immediate checked read: the tag
+		// mismatch must be detected and repaired in place. (Corruption
+		// left outstanding is exercised by the scrub event instead, so a
+		// later column failure never XORs corrupt survivor data.)
+		lba, col, page, ok := h.pickCached()
+		if !ok {
+			return h.doRead()
+		}
+		for i, p := range h.ssds {
+			if i != col && p.UnreadablePages() > 0 {
+				// Parity repair of the corrupt page reads every survivor;
+				// a latent error there would turn a repairable corruption
+				// into a double fault.
+				return h.doRead()
+			}
+		}
+		if err := h.ssds[col].Content().Corrupt(page); err != nil {
+			return err
+		}
+		before := h.cache.RepairStats().CorruptionsDetected
+		tag, done, err := h.cache.ReadCheck(h.at, lba)
+		if err != nil {
+			return fmt.Errorf("checked read of corrupted page %d: %w", lba, err)
+		}
+		h.at = vtime.Max(h.at, done)
+		if v, cached := h.cache.CachedVersion(lba); cached && v > 0 && tag != blockdev.DataTag(lba, v) {
+			return fmt.Errorf("page %d: repaired tag does not match version %d", lba, v)
+		}
+		if h.cache.RepairStats().CorruptionsDetected == before {
+			return fmt.Errorf("page %d: planted corruption not detected", lba)
+		}
+		h.res.Corruptions++
+		return nil
+	}
+}
+
+func (h *harness) doCrash() error {
+	// Primary storage is durable by fiat (it is redundant, battery-backed
+	// HDD RAID in the paper's setting); the SSDs lose their volatile write
+	// caches.
+	h.prim.Content().FlushContent()
+	for _, p := range h.ssds {
+		p.Content().Crash()
+	}
+	if _, err := h.cache.Recover(); err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	h.res.Crashes++
+
+	// Durability check and model resync, in deterministic page order.
+	newLatest := make(map[int64]uint64, len(h.latest))
+	for lba := int64(0); lba < span; lba++ {
+		lv := h.latest[lba]
+		if lv == 0 {
+			continue
+		}
+		dv := h.durable[lba]
+		rv, cached := h.cache.CachedVersion(lba)
+		if cached && rv > 0 {
+			if rv > lv {
+				return fmt.Errorf("page %d recovered at version %d, newer than the newest write %d", lba, rv, lv)
+			}
+			if rv < dv {
+				return fmt.Errorf("page %d recovered at version %d, below the durable version %d", lba, rv, dv)
+			}
+			newLatest[lba] = rv
+			continue
+		}
+		// Not recovered into the cache (or only as a pre-epoch clean
+		// fill): a durable version must have been destaged to primary.
+		if dv > 0 {
+			pt, err := h.prim.Content().ReadTag(lba)
+			if err != nil {
+				return err
+			}
+			found := false
+			for v := lv; v >= dv; v-- {
+				if pt == blockdev.DataTag(lba, v) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("page %d: durable version %d neither recovered nor on primary", lba, dv)
+			}
+		}
+	}
+	// The recovered state is exactly what was committed: it is the new
+	// model baseline, and all of it is durable.
+	h.latest = newLatest
+	h.durable = make(map[int64]uint64, len(newLatest))
+	for lba, v := range newLatest {
+		h.durable[lba] = v
+	}
+	return nil
+}
+
+func (h *harness) doRebuild() error {
+	// A survivor with an outstanding latent error cannot serve as a
+	// reconstruction source; real arrays refuse to kick a second member
+	// for the same reason. Scrub-style repair paths clear these over time.
+	for _, p := range h.ssds {
+		if p.UnreadablePages() > 0 {
+			return h.doRead()
+		}
+	}
+	col := h.rng.Intn(numSSD)
+	h.ssds[col].Fail()
+	// Foreground traffic against the failed member: served degraded.
+	for k := 0; k < 2; k++ {
+		if err := h.doRead(); err != nil {
+			return fmt.Errorf("degraded before replace: %w", err)
+		}
+	}
+	fresh := blockdev.NewFaultPlan(
+		blockdev.NewMemDevice(ssdCap, 10*vtime.Microsecond),
+		rand.New(rand.NewSource(h.rng.Int63())),
+	)
+	done, err := h.cache.ReplaceSSD(h.at, col, fresh)
+	if err != nil {
+		return fmt.Errorf("replace ssd %d: %w", col, err)
+	}
+	h.ssds[col] = fresh
+	h.at = vtime.Max(h.at, done)
+	// Drive the rebuild interleaved with foreground traffic.
+	for steps := 0; h.cache.Rebuilding(); steps++ {
+		if steps > 1<<16 {
+			return fmt.Errorf("rebuild of ssd %d did not converge", col)
+		}
+		t, _, err := h.cache.RebuildStep(h.at)
+		if err != nil {
+			return fmt.Errorf("rebuild step: %w", err)
+		}
+		h.at = vtime.Max(h.at, t)
+		if steps%4 == 3 {
+			var ferr error
+			if h.rng.Float64() < 0.5 {
+				ferr = h.doWrite()
+			} else {
+				ferr = h.doRead()
+			}
+			if ferr != nil {
+				return fmt.Errorf("foreground during rebuild: %w", ferr)
+			}
+		}
+	}
+	h.res.Rebuilds++
+	return nil
+}
+
+func (h *harness) doScrub() error {
+	planted := false
+	before := h.cache.RepairStats().CorruptionsDetected
+	if h.rng.Float64() < 0.7 {
+		if _, col, page, ok := h.pickCached(); ok {
+			if err := h.ssds[col].Content().Corrupt(page); err != nil {
+				return err
+			}
+			planted = true
+		}
+	}
+	done, err := h.cache.Scrub(h.at)
+	if err != nil {
+		return fmt.Errorf("scrub: %w", err)
+	}
+	h.at = vtime.Max(h.at, done)
+	if planted && h.cache.RepairStats().CorruptionsDetected == before {
+		return fmt.Errorf("scrub missed a planted corruption")
+	}
+	h.res.Scrubs++
+	return nil
+}
+
+// spotCheck verifies a handful of random pages against the model.
+func (h *harness) spotCheck() error {
+	for k := 0; k < 8; k++ {
+		lba := h.rng.Int63n(span)
+		lv := h.latest[lba]
+		if lv == 0 {
+			continue
+		}
+		rv, cached := h.cache.CachedVersion(lba)
+		if !cached {
+			continue
+		}
+		if rv != lv {
+			return fmt.Errorf("page %d cached at version %d, model says %d", lba, rv, lv)
+		}
+		tag, done, err := h.cache.ReadCheck(h.at, lba)
+		if err != nil {
+			return fmt.Errorf("checked read of page %d: %w", lba, err)
+		}
+		h.at = vtime.Max(h.at, done)
+		if rv > 0 && tag != blockdev.DataTag(lba, rv) {
+			return fmt.Errorf("page %d serves the wrong content for version %d", lba, rv)
+		}
+		h.res.Checks++
+	}
+	return nil
+}
+
+// verifyAll checks every written page at the end of the run: cached pages
+// must verify at the model's version, evicted pages must live on primary at
+// a version no older than their durable one.
+func (h *harness) verifyAll() error {
+	for lba := int64(0); lba < span; lba++ {
+		lv := h.latest[lba]
+		if lv == 0 {
+			continue
+		}
+		dv := h.durable[lba]
+		rv, cached := h.cache.CachedVersion(lba)
+		if cached && rv > 0 {
+			if rv != lv {
+				return fmt.Errorf("page %d cached at version %d, model says %d", lba, rv, lv)
+			}
+			tag, done, err := h.cache.ReadCheck(h.at, lba)
+			if err != nil {
+				return fmt.Errorf("checked read of page %d: %w", lba, err)
+			}
+			h.at = vtime.Max(h.at, done)
+			if tag != blockdev.DataTag(lba, rv) {
+				return fmt.Errorf("page %d serves the wrong content for version %d", lba, rv)
+			}
+			h.res.Checks++
+			continue
+		}
+		pt, err := h.prim.Content().ReadTag(lba)
+		if err != nil {
+			return err
+		}
+		found := false
+		for v := lv; v >= 1 && v >= dv; v-- {
+			if pt == blockdev.DataTag(lba, v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("page %d (latest %d, durable %d) neither cached nor on primary", lba, lv, dv)
+		}
+		h.res.Checks++
+	}
+	return nil
+}
+
+// signature folds the final per-page versions and the virtual clock into one
+// comparable value.
+func (h *harness) signature() uint64 {
+	f := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		f.Write(buf[:])
+	}
+	for lba := int64(0); lba < span; lba++ {
+		if v := h.latest[lba]; v > 0 {
+			put(uint64(lba))
+			put(v)
+		}
+	}
+	put(uint64(h.at.Sub(vtime.Time(0))))
+	return f.Sum64()
+}

@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestChaos runs the seeded fault schedules. Every seed must complete its
+// full schedule with all durability and content invariants intact.
+// CHAOS_SEEDS widens the sweep (CI's dedicated chaos job sets it); the
+// default keeps the tier-1 run fast.
+func TestChaos(t *testing.T) {
+	seeds := int64(50)
+	if v := os.Getenv("CHAOS_SEEDS"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad CHAOS_SEEDS %q", v)
+		}
+		seeds = n
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Options{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Writes == 0 || res.Reads == 0 || res.Checks == 0 {
+				t.Fatalf("schedule exercised too little: %+v", res)
+			}
+		})
+	}
+}
+
+// TestChaosDeterministic replays one schedule and requires bit-identical
+// results, including the folded final-state signature.
+func TestChaosDeterministic(t *testing.T) {
+	o := Options{Seed: 7, Ops: 600}
+	a, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different runs:\n  %+v\n  %+v", a, b)
+	}
+}
+
+// TestChaosCoverage checks that, across the seed set, every fault kind
+// actually fires — a schedule that never crashes or rebuilds proves nothing.
+func TestChaosCoverage(t *testing.T) {
+	var total Result
+	for seed := int64(1); seed <= 12; seed++ {
+		res, err := Run(Options{Seed: seed, Ops: 600})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Crashes += res.Crashes
+		total.Rebuilds += res.Rebuilds
+		total.Scrubs += res.Scrubs
+		total.Transients += res.Transients
+		total.Unreadables += res.Unreadables
+		total.Corruptions += res.Corruptions
+		total.Flushes += res.Flushes
+	}
+	if total.Crashes == 0 || total.Rebuilds == 0 || total.Scrubs == 0 ||
+		total.Transients == 0 || total.Unreadables == 0 ||
+		total.Corruptions == 0 || total.Flushes == 0 {
+		t.Fatalf("fault kinds not all exercised: %+v", total)
+	}
+}

@@ -198,7 +198,7 @@ func degradedRun(o Options, group string, mode src.ParityMode) (healthy, degrade
 		return 0, 0, err
 	}
 	faults[0].Fail()
-	run2, err := runGroupAt(cache, group, o, run1.End, 1)
+	run2, err := runGroupAt(cache, group, o, run1.End, 1, nil)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -151,13 +151,14 @@ type GroupRun struct {
 // runGroup drives cache with the named trace group at the paper's
 // 4-threads-per-trace concurrency and derives the evaluation metrics.
 func runGroup(cache bench.Cache, group string, o Options) (GroupRun, error) {
-	return runGroupAt(cache, group, o, 0, 0)
+	return runGroupAt(cache, group, o, 0, 0, nil)
 }
 
 // runGroupAt is runGroup starting at a given virtual time with a perturbed
 // seed — used for second passes (e.g. degraded-mode measurement on a
-// warmed cache).
-func runGroupAt(cache bench.Cache, group string, o Options, start vtime.Time, seedOffset int64) (GroupRun, error) {
+// warmed cache). interleave, when non-nil, rides along with the foreground
+// requests (see bench.Options.Interleave).
+func runGroupAt(cache bench.Cache, group string, o Options, start vtime.Time, seedOffset int64, interleave func(vtime.Time) (vtime.Time, error)) (GroupRun, error) {
 	sources, _, err := traceSetup(group, o, seedOffset)
 	if err != nil {
 		return GroupRun{}, err
@@ -168,6 +169,7 @@ func runGroupAt(cache bench.Cache, group string, o Options, start vtime.Time, se
 		SlotsPerSource: 4,
 		MaxRequests:    o.Requests,
 		Start:          start,
+		Interleave:     interleave,
 	})
 	if err != nil {
 		return GroupRun{}, err
@@ -318,6 +320,7 @@ func All() []Experiment {
 		{"ablation-gcsplit", "Ablation A3: hot/cold separation of S2S copies (future work)", AblationGCSplit},
 		{"ablation-degraded", "Ablation A4: degraded-mode service, PC vs NPC", AblationDegraded},
 		{"ablation-advanced", "Ablation A5: SRC vs RIPQ-like advanced cache (future work)", AblationAdvanced},
+		{"ablation-rebuild", "Ablation A6: online rebuild after SSD replacement, throughput and MTTR", AblationRebuild},
 	}
 }
 

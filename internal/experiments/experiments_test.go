@@ -50,7 +50,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table2", "table3", "fig1", "fig2", "fig4", "table8", "fig5",
 		"table9", "table10", "table11", "table12", "fig6", "fig7",
 		"ablation-victim", "ablation-segsize", "ablation-gcsplit", "ablation-degraded",
-		"ablation-advanced"}
+		"ablation-advanced", "ablation-rebuild"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments, want %d", len(all), len(want))
@@ -376,6 +376,40 @@ func TestAblationDegradedShape(t *testing.T) {
 			if healthy <= 0 || degraded <= 0 {
 				t.Fatalf("cell %q has nonpositive throughput", row[col])
 			}
+		}
+	}
+}
+
+func TestAblationRebuildShape(t *testing.T) {
+	tables, err := AblationRebuild(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := tables[0]
+	for _, row := range tbl.Rows {
+		healthy, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("healthy cell %q: %v", row[1], err)
+		}
+		rebuilding, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("rebuilding cell %q: %v", row[2], err)
+		}
+		mttr, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("mttr cell %q: %v", row[3], err)
+		}
+		segs, err := strconv.ParseInt(row[4], 10, 64)
+		if err != nil {
+			t.Fatalf("segments cell %q: %v", row[4], err)
+		}
+		if healthy <= 0 || rebuilding <= 0 {
+			t.Fatalf("row %q has nonpositive throughput", row)
+		}
+		// A warmed cache always leaves data on the failed column, so the
+		// walker must have real work and real repair time.
+		if mttr <= 0 || segs <= 0 {
+			t.Fatalf("row %q shows no rebuild work", row)
 		}
 	}
 }

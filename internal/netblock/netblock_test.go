@@ -8,6 +8,7 @@ import (
 	"net"
 	"sync"
 	"testing"
+	"time"
 )
 
 // startPair runs a server over TCP on localhost and returns a connected
@@ -181,6 +182,68 @@ func TestProtocolRejectsGarbage(t *testing.T) {
 	}
 	if _, err := readRequest(&buf); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("oversized err = %v", err)
+	}
+}
+
+func TestIdleConnectionDropped(t *testing.T) {
+	srv, err := NewServer(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.IdleTimeout = 50 * time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Sit idle past the timeout: the server must hang up, so the next
+	// request fails rather than blocking.
+	time.Sleep(5 * srv.IdleTimeout)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := cli.ReadAt(make([]byte, 1), 0); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle connection still served after timeout")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCloseDrainsIdleConnections(t *testing.T) {
+	srv, err := NewServer(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.DrainGrace = 50 * time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A connected-but-silent client must not block shutdown: without a
+	// drain deadline, Close would wait on its read forever.
+	cli, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on an idle connection")
 	}
 }
 

@@ -7,10 +7,21 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Server exports one in-memory volume to any number of concurrent clients.
 type Server struct {
+	// IdleTimeout, when positive, bounds how long a connection may sit
+	// between requests (and how long one response write may take) before
+	// the server drops it. Without it a hung or vanished client pins its
+	// goroutine forever and blocks Close. Set before Listen.
+	IdleTimeout time.Duration
+	// DrainGrace is how long Close lets in-flight requests finish before
+	// interrupting their connections. Zero interrupts immediately. Set
+	// before Listen.
+	DrainGrace time.Duration
+
 	mu   sync.RWMutex
 	data []byte
 
@@ -18,6 +29,9 @@ type Server struct {
 	wg       sync.WaitGroup
 	shutdown chan struct{}
 	once     sync.Once
+
+	cmu   sync.Mutex
+	conns map[net.Conn]struct{}
 }
 
 // NewServer creates a server exporting a zeroed volume of size bytes.
@@ -28,6 +42,7 @@ func NewServer(size int64) (*Server, error) {
 	return &Server{
 		data:     make([]byte, size),
 		shutdown: make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
 	}, nil
 }
 
@@ -64,12 +79,28 @@ func (s *Server) acceptLoop(lis net.Listener) {
 		go func() {
 			defer s.wg.Done()
 			defer conn.Close()
+			s.track(conn)
+			defer s.untrack(conn)
 			_ = s.ServeConn(conn)
 		}()
 	}
 }
 
-// Close stops the listener and waits for in-flight connections to drain.
+func (s *Server) track(conn net.Conn) {
+	s.cmu.Lock()
+	s.conns[conn] = struct{}{}
+	s.cmu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.cmu.Lock()
+	delete(s.conns, conn)
+	s.cmu.Unlock()
+}
+
+// Close stops the listener and waits for in-flight connections to drain: a
+// connection mid-request gets DrainGrace to finish; one idle between
+// requests is interrupted at the same deadline and exits cleanly.
 func (s *Server) Close() error {
 	var err error
 	s.once.Do(func() {
@@ -77,25 +108,63 @@ func (s *Server) Close() error {
 		if s.lis != nil {
 			err = s.lis.Close()
 		}
+		deadline := time.Now().Add(s.DrainGrace)
+		s.cmu.Lock()
+		for c := range s.conns {
+			_ = c.SetReadDeadline(deadline)
+		}
+		s.cmu.Unlock()
 	})
 	s.wg.Wait()
 	return err
 }
 
+// deadliner is the deadline surface of net.Conn; ServeConn applies
+// IdleTimeout only to connections that expose it.
+type deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
 // ServeConn handles one client connection until EOF or error. It can be
-// used directly (e.g. over net.Pipe in tests) without Listen.
+// used directly (e.g. over net.Pipe in tests) without Listen. If conn
+// supports deadlines and IdleTimeout is set, each request must arrive — and
+// each response must be written — within IdleTimeout. During shutdown a
+// deadline interruption is a clean exit, not an error.
 func (s *Server) ServeConn(conn io.ReadWriter) error {
+	dc, _ := conn.(deadliner)
 	for {
+		if s.draining() {
+			return nil
+		}
+		if dc != nil && s.IdleTimeout > 0 {
+			_ = dc.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		req, err := readRequest(conn)
 		if err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || s.draining() {
 				return nil
 			}
 			return err
 		}
+		if dc != nil && s.IdleTimeout > 0 {
+			_ = dc.SetWriteDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		if err := s.handle(conn, req); err != nil {
+			if s.draining() {
+				return nil
+			}
 			return err
 		}
+	}
+}
+
+func (s *Server) draining() bool {
+	select {
+	case <-s.shutdown:
+		return true
+	default:
+		return false
 	}
 }
 

@@ -51,6 +51,24 @@ func (a *Array) read(at vtime.Time, req blockdev.Request) (vtime.Time, error) {
 			done = vtime.Max(done, t)
 			continue
 		}
+		if errors.Is(err, blockdev.ErrUnreadable) {
+			// Latent sector error: serve the span from redundancy and
+			// rewrite it in place, clearing the error (md's
+			// fix_read_error path).
+			t, rerr := a.reconstructRead(at, sp)
+			if rerr != nil {
+				return at, rerr
+			}
+			wt, werr := a.submitDev(t, sp.dev, blockdev.OpWrite, sp.off, sp.n)
+			if werr != nil && !errors.Is(werr, blockdev.ErrDeviceFailed) {
+				return at, werr
+			}
+			if werr == nil {
+				t = wt
+			}
+			done = vtime.Max(done, t)
+			continue
+		}
 		if !errors.Is(err, blockdev.ErrDeviceFailed) {
 			return at, err
 		}
@@ -197,7 +215,9 @@ func (a *Array) rmwStripe(at vtime.Time, s int64, c0, c1 int64) (vtime.Time, err
 	readOne := func(d int) error {
 		t, err := a.submitDev(at, d, blockdev.OpRead, dOff, a.chunk)
 		if err != nil {
-			if errors.Is(err, blockdev.ErrDeviceFailed) {
+			// A latent sector error also forces full-stripe reconstruction;
+			// the write phase below overwrites the bad chunk, clearing it.
+			if errors.Is(err, blockdev.ErrDeviceFailed) || errors.Is(err, blockdev.ErrUnreadable) {
 				degraded = true
 				return nil
 			}
@@ -218,7 +238,7 @@ func (a *Array) rmwStripe(at vtime.Time, s int64, c0, c1 int64) (vtime.Time, err
 		// A member is gone: reconstruct by reading every survivor.
 		for d := range a.devs {
 			t, err := a.submitDev(at, d, blockdev.OpRead, dOff, a.chunk)
-			if err != nil && !errors.Is(err, blockdev.ErrDeviceFailed) {
+			if err != nil && !errors.Is(err, blockdev.ErrDeviceFailed) && !errors.Is(err, blockdev.ErrUnreadable) {
 				return at, err
 			}
 			if err == nil {
@@ -258,6 +278,9 @@ func (a *Array) Rebuild(at vtime.Time, dev int) (vtime.Time, error) {
 	if dev < 0 || dev >= len(a.devs) {
 		return at, fmt.Errorf("raid: rebuild of unknown device %d", dev)
 	}
+	// Re-admit the member: its error budget restarts fresh.
+	a.errCount[dev] = 0
+	a.down[dev] = false
 	unit := int64(1 << 20)
 	if unit > a.devCap {
 		unit = a.devCap

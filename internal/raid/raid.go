@@ -64,6 +64,12 @@ type Array struct {
 	dataDevs  int // data chunks per stripe
 	pairCount int // Level1 only
 
+	retryLimit int            // bounded retries for transient member errors
+	retryDelay vtime.Duration // backoff before the first retry, doubling
+	errBudget  int64          // corrected errors before a member is kicked
+	errCount   []int64
+	down       []bool // members kicked by the error budget (md-style)
+
 	stats blockdev.Stats
 	cont  *blockdev.Content
 }
@@ -88,7 +94,14 @@ func New(level Level, chunk int64, devs []blockdev.Device) (*Array, error) {
 	if devCap%chunk != 0 {
 		return nil, fmt.Errorf("raid: device capacity %d not a multiple of chunk %d", devCap, chunk)
 	}
-	a := &Array{level: level, chunk: chunk, devs: devs, devCap: devCap}
+	a := &Array{
+		level: level, chunk: chunk, devs: devs, devCap: devCap,
+		retryLimit: 3,
+		retryDelay: 100 * vtime.Microsecond,
+		errBudget:  20,
+		errCount:   make([]int64, len(devs)),
+		down:       make([]bool, len(devs)),
+	}
 	switch level {
 	case Level0:
 		a.dataDevs = len(devs)
@@ -185,9 +198,65 @@ func (a *Array) LocatePage(lpage int64) (dev int, dpage int64) {
 // mirror reports the mirror partner of device d under Level1.
 func mirror(d int) int { return d ^ 1 }
 
-// submitDev issues one request to member device d.
+// SetRetryPolicy overrides the transient-error retry bound and initial
+// backoff (defaults: 3 retries, 100 µs doubling).
+func (a *Array) SetRetryPolicy(limit int, delay vtime.Duration) {
+	a.retryLimit = limit
+	a.retryDelay = delay
+}
+
+// SetErrorBudget overrides the md-style per-member corrected-error budget
+// (default 20). A member that exhausts it is kicked from the array until
+// Rebuild re-admits it.
+func (a *Array) SetErrorBudget(n int64) { a.errBudget = n }
+
+// Down reports whether member d has been kicked by the error budget.
+func (a *Array) Down(d int) bool { return d >= 0 && d < len(a.down) && a.down[d] }
+
+// DeviceErrors reports the corrected errors charged against member d since
+// assembly or its last rebuild.
+func (a *Array) DeviceErrors(d int) int64 {
+	if d < 0 || d >= len(a.errCount) {
+		return 0
+	}
+	return a.errCount[d]
+}
+
+// noteErr charges one corrected error against member d, kicking it when the
+// budget is exhausted.
+func (a *Array) noteErr(d int) {
+	a.errCount[d]++
+	if a.errCount[d] >= a.errBudget {
+		a.down[d] = true
+	}
+}
+
+// submitDev issues one request to member device d, retrying transient errors
+// with exponential virtual-time backoff and charging corrected errors
+// against the member's budget.
 func (a *Array) submitDev(at vtime.Time, d int, op blockdev.Op, off, n int64) (vtime.Time, error) {
-	return a.devs[d].Submit(at, blockdev.Request{Op: op, Off: off, Len: n})
+	if a.down[d] {
+		return at, fmt.Errorf("%w: member %d kicked by error budget", blockdev.ErrDeviceFailed, d)
+	}
+	req := blockdev.Request{Op: op, Off: off, Len: n}
+	t, err := a.devs[d].Submit(at, req)
+	attempts := 0
+	for errors.Is(err, blockdev.ErrTransient) {
+		if attempts >= a.retryLimit {
+			a.noteErr(d)
+			return at, fmt.Errorf("%w: member %d still transient after %d retries", blockdev.ErrDeviceFailed, d, attempts)
+		}
+		at = at.Add(a.retryDelay << attempts)
+		attempts++
+		t, err = a.devs[d].Submit(at, req)
+	}
+	if attempts > 0 && err == nil {
+		a.noteErr(d) // corrected after retrying: one budget error, md-style
+	}
+	if errors.Is(err, blockdev.ErrUnreadable) {
+		a.noteErr(d)
+	}
+	return t, err
 }
 
 // Submit schedules a logical request and returns its completion time.
@@ -211,7 +280,10 @@ func (a *Array) Flush(at vtime.Time) (vtime.Time, error) {
 	a.stats.Flushes++
 	a.cont.FlushContent()
 	done := at
-	for _, d := range a.devs {
+	for i, d := range a.devs {
+		if a.down[i] {
+			continue // kicked members take no further commands
+		}
 		fd, err := d.Flush(at)
 		if err != nil {
 			if errors.Is(err, blockdev.ErrDeviceFailed) {

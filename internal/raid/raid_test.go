@@ -345,3 +345,71 @@ func TestDeviceBytesAmplification(t *testing.T) {
 		t.Fatalf("device bytes = %d, want %d", got, want)
 	}
 }
+
+func TestTransientRetryAndBudget(t *testing.T) {
+	a, faults := newArray(t, Level5, blockdev.PageSize, 4)
+	at := vtime.Time(0)
+	done, err := a.Submit(at, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: 3 * blockdev.PageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two transient errors correct within the default 3-retry bound; the
+	// corrected event costs one budget error.
+	faults[0].InjectTransient(2)
+	if _, err := a.Submit(done, blockdev.Request{Op: blockdev.OpRead, Off: 0, Len: blockdev.PageSize}); err != nil {
+		t.Fatalf("corrected transient read: %v", err)
+	}
+	if n := a.DeviceErrors(0); n != 1 {
+		t.Fatalf("budget charge %d, want 1", n)
+	}
+	if a.Down(0) {
+		t.Fatal("corrected transient kicked the member")
+	}
+	// A budget of 1 means the next charged error kicks the member; reads
+	// still succeed via reconstruction.
+	a.SetErrorBudget(1)
+	faults[0].InjectTransient(4) // initial try + 3 retries all fail
+	if _, err := a.Submit(done, blockdev.Request{Op: blockdev.OpRead, Off: 0, Len: blockdev.PageSize}); err != nil {
+		t.Fatalf("degraded read after exhausted retries: %v", err)
+	}
+	if !a.Down(0) {
+		t.Fatal("exhausted budget did not kick the member")
+	}
+	// Rebuild re-admits the member with a fresh budget.
+	if _, err := a.Rebuild(done, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.Down(0) || a.DeviceErrors(0) != 0 {
+		t.Fatal("rebuild did not re-admit the member")
+	}
+}
+
+func TestUnreadableReadRepairsInPlace(t *testing.T) {
+	a, faults := newArray(t, Level5, blockdev.PageSize, 4)
+	at := vtime.Time(0)
+	done, err := a.Submit(at, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: 3 * blockdev.PageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, dpage := a.LocatePage(0)
+	faults[dev].InjectUnreadable(dpage)
+	if _, err := a.Submit(done, blockdev.Request{Op: blockdev.OpRead, Off: 0, Len: blockdev.PageSize}); err != nil {
+		t.Fatalf("read over latent sector error: %v", err)
+	}
+	// The fix_read_error write-back cleared the bad sector.
+	if n := faults[dev].UnreadablePages(); n != 0 {
+		t.Fatalf("%d pages still unreadable after repair write-back", n)
+	}
+	if n := a.DeviceErrors(dev); n != 1 {
+		t.Fatalf("budget charge %d, want 1", n)
+	}
+	// The repaired chunk reads directly again: no survivor traffic.
+	other := (dev + 1) % 4
+	before := faults[other].Stats().ReadOps
+	if _, err := a.Submit(done, blockdev.Request{Op: blockdev.OpRead, Off: 0, Len: blockdev.PageSize}); err != nil {
+		t.Fatal(err)
+	}
+	if faults[other].Stats().ReadOps != before {
+		t.Fatal("repaired chunk still reads via reconstruction")
+	}
+}

@@ -43,17 +43,20 @@ func (c *Cache) degradedRead(at vtime.Time, col int, off, n, firstLBA int64) (vt
 
 // reconstructColumns charges the reads that rebuild a lost column range
 // from every surviving column (data plus parity), returning the last
-// completion.
+// completion. A second fault on a survivor is unrecoverable for the range.
 func (c *Cache) reconstructColumns(at vtime.Time, col int, off, n int64) (vtime.Time, error) {
 	done := at
 	for other := 0; other < c.lay.m; other++ {
 		if other == col {
 			continue
 		}
-		t, err := c.cfg.SSDs[other].Submit(at, blockdev.Request{Op: blockdev.OpRead, Off: off, Len: n})
+		t, err := c.submitSSD(at, other, blockdev.Request{Op: blockdev.OpRead, Off: off, Len: n})
 		if err != nil {
 			if errors.Is(err, blockdev.ErrDeviceFailed) {
 				return at, fmt.Errorf("%w: second ssd failure (%d and %d)", ErrDataLoss, col, other)
+			}
+			if errors.Is(err, blockdev.ErrUnreadable) {
+				return at, fmt.Errorf("%w: survivor ssd %d unreadable while reconstructing ssd %d", ErrDataLoss, other, col)
 			}
 			return at, err
 		}
@@ -86,76 +89,38 @@ func (c *Cache) ReconstructTag(loc int64) (blockdev.Tag, error) {
 	return tag, nil
 }
 
-// RebuildSSD reconstructs the cache contents of a failed-and-replaced SSD:
-// parity-protected segments are rebuilt from the survivors; data of
-// parityless clean segments is dropped from the mapping (it reloads from
-// primary on demand). The paper lists fast recovery and drive scaling as
-// SRC goals; this is the recovery half.
+// RebuildSSD reconstructs the cache contents of a failed-and-repaired (or
+// replaced-in-place) SSD in one synchronous sweep: parity-protected segments
+// are rebuilt from the survivors; data of parityless clean segments is
+// dropped from the mapping (it reloads from primary on demand). The paper
+// lists fast recovery and drive scaling as SRC goals; this is the recovery
+// half. For an online rebuild interleaved with foreground traffic, use
+// ReplaceSSD plus RebuildStep.
 func (c *Cache) RebuildSSD(at vtime.Time, col int) (vtime.Time, error) {
 	if col < 0 || col >= c.lay.m {
 		return at, fmt.Errorf("src: rebuild of unknown ssd %d", col)
 	}
+	if c.rebuild != nil {
+		return at, fmt.Errorf("src: rebuild of ssd %d already in progress", c.rebuild.col)
+	}
+	c.devErrs[col] = 0
+	c.colDown[col] = false
 	cursor := at
 	// Superblock group first.
-	if _, err := c.cfg.SSDs[col].Submit(cursor, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: blockdev.PageSize}); err != nil {
+	if _, err := c.submitSSD(cursor, col, blockdev.Request{Op: blockdev.OpWrite, Off: 0, Len: blockdev.PageSize}); err != nil {
 		return at, err
 	}
-	for sg := int64(1); sg < c.lay.numSG; sg++ {
-		g := &c.groups[sg]
-		if g.state != groupClosed && g.state != groupActive {
-			continue
+	c.startRebuild(col)
+	for {
+		t, pending, err := c.RebuildStep(cursor)
+		if err != nil {
+			return at, err
 		}
-		segs := c.lay.segsPerSG
-		if g.state == groupActive {
-			segs = c.nextSeg
-		}
-		for seg := int64(0); seg < segs; seg++ {
-			parity := int(g.segParity[seg])
-			colBase := c.lay.colOffset(c.cfg, sg, seg)
-			if parity < 0 {
-				// Parityless clean segment: drop this column's pages.
-				for pic := int64(1); pic <= c.lay.payloadPages; pic++ {
-					loc := c.lay.loc(sg, seg, col, pic)
-					s := c.lay.localSlot(loc)
-					if g.slots[s] == slotFree {
-						continue
-					}
-					lba, _ := unpackSlot(g.slots[s])
-					if e, ok := c.mapping[lba]; ok && e.loc == loc {
-						c.dropPage(lba, e)
-					}
-				}
-				continue
-			}
-			// Read the surviving columns, write the reconstructed one.
-			readDone := cursor
-			for other := 0; other < c.lay.m; other++ {
-				if other == col {
-					continue
-				}
-				t, err := c.cfg.SSDs[other].Submit(cursor, blockdev.Request{
-					Op: blockdev.OpRead, Off: colBase, Len: c.cfg.SegmentColumn,
-				})
-				if err != nil {
-					return at, fmt.Errorf("rebuild source %d: %w", other, err)
-				}
-				readDone = vtime.Max(readDone, t)
-			}
-			t, err := c.cfg.SSDs[col].Submit(readDone, blockdev.Request{
-				Op: blockdev.OpWrite, Off: colBase, Len: c.cfg.SegmentColumn,
-			})
-			if err != nil {
-				return at, fmt.Errorf("rebuild target: %w", err)
-			}
-			cursor = t
-			if c.cfg.TrackContent {
-				if err := c.rebuildColumnContent(sg, seg, col); err != nil {
-					return at, err
-				}
-			}
+		cursor = t
+		if !pending {
+			return cursor, nil
 		}
 	}
-	return cursor, nil
 }
 
 // rebuildColumnContent restores the tags and summary blobs of one rebuilt
@@ -166,6 +131,7 @@ func (c *Cache) rebuildColumnContent(sg, seg int64, col int) error {
 	basePage := colBase / blockdev.PageSize
 	g := &c.groups[sg]
 	var entries []summaryEntry
+	live := 0
 	for pic := int64(1); pic <= c.lay.payloadPages; pic++ {
 		loc := c.lay.loc(sg, seg, col, pic)
 		tag, err := c.ReconstructTag(loc)
@@ -175,19 +141,31 @@ func (c *Cache) rebuildColumnContent(sg, seg int64, col int) error {
 		if err := cont.WriteTag(basePage+pic, tag); err != nil {
 			return err
 		}
+		// Entries are positional (entry i ↔ payload page i+1), so a freed
+		// slot must be held with a sentinel, not skipped: compacting the
+		// list would shift every later page onto the wrong slot at the
+		// next recovery.
 		s := c.lay.localSlot(loc)
-		if g.slots[s] != slotFree {
-			lba, dirty := unpackSlot(g.slots[s])
-			var version uint64
-			if c.versions != nil {
-				version = c.versions[lba]
-			}
-			entries = append(entries, summaryEntry{lba: lba, version: version, dirty: dirty})
+		if g.slots[s] == slotFree {
+			entries = append(entries, summaryEntry{lba: summaryFreeLBA})
+			continue
 		}
+		lba, dirty := unpackSlot(g.slots[s])
+		var version uint64
+		if c.versions != nil {
+			version = c.versions[lba]
+		}
+		entries = append(entries, summaryEntry{lba: lba, version: version, dirty: dirty})
+		live++
 	}
 	// Rebuild the summary blobs from a surviving column's generation.
 	gen, err := c.survivingGeneration(sg, seg, col)
 	if err != nil {
+		if live == 0 {
+			// Nothing to record: an abandoned or fully invalidated segment
+			// may never have written a summary on any column.
+			return nil
+		}
 		return err
 	}
 	sum := &summary{

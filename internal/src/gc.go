@@ -20,7 +20,7 @@ type liveEntry struct {
 	loc   int64
 	dirty bool
 	read  bool // staged from SSD (dirty always; hot clean under S2S)
-	lost  bool // unreadable: its column failed and the segment is parityless
+	lost  bool // unrecoverable clean page in a parityless segment: dropped
 	tag   blockdev.Tag
 }
 
@@ -35,7 +35,7 @@ func (c *Cache) gc(at vtime.Time) error {
 		victim := c.pickVictim()
 		if victim < 0 {
 			if len(c.freeSGs) > 0 {
-				return nil
+				break
 			}
 			return ErrNoFreeGroups
 		}
@@ -60,7 +60,14 @@ func (c *Cache) gc(at vtime.Time) error {
 			return err
 		}
 	}
-	return nil
+	// Destage the dirty tails before returning: pages S2S moved out of the
+	// victims still sit in RAM, and once a reclaimed group is reused its
+	// old summary blobs — the only durable record of those pages (and of
+	// superseded versions of host-rewritten pages) — are overwritten.
+	// Writing the tails now keeps the overwrite and the replacement copies
+	// in the same flush epoch: a crash either reverts both or sees both.
+	_, err := c.drainDirty(at)
+	return err
 }
 
 // copyEligible reports whether Sel-GC may copy live data back into the log
@@ -142,6 +149,32 @@ func (c *Cache) evacuate(at vtime.Time, victim int64, copyMode bool) ([]liveEntr
 				return nil, readDone, err
 			}
 			e.tag = t
+			// Verify moved pages so GC never propagates silent corruption
+			// into new segments (and their parity). Never-versioned pages
+			// (preloaded fills) have their expected tag only on primary and
+			// are skipped.
+			if e.read && c.versions[lba] > 0 {
+				if want := blockdev.DataTag(lba, c.versions[lba]); e.tag != want {
+					c.repair.CorruptionsDetected++
+					sg, seg, _, _ := c.lay.split(loc)
+					switch {
+					case c.groups[sg].segParity[seg] >= 0:
+						fixed, rerr := c.ReconstructTag(loc)
+						if rerr != nil {
+							return nil, readDone, rerr
+						}
+						if fixed != want {
+							return nil, readDone, fmt.Errorf("%w: parity repair of page %d during gc failed", ErrDataLoss, lba)
+						}
+						e.tag = fixed
+						c.repair.CorruptionsRepaired++
+					case dirty:
+						return nil, readDone, fmt.Errorf("%w: dirty page %d corrupt without parity", ErrDataLoss, lba)
+					default:
+						e.lost = true // dropped; reloads from primary on demand
+					}
+				}
+			}
 		}
 		live = append(live, e)
 		g.slots[s] = slotFree
@@ -163,17 +196,20 @@ func (c *Cache) evacuate(at vtime.Time, victim int64, copyMode bool) ([]liveEntr
 		first := live[run[0]].loc
 		n := int64(len(run))
 		col, off := c.lay.devOffset(c.cfg, first)
-		t, err := c.cfg.SSDs[col].Submit(at, blockdev.Request{
+		t, err := c.submitSSD(at, col, blockdev.Request{
 			Op: blockdev.OpRead, Off: off, Len: n * blockdev.PageSize,
 		})
-		if err != nil && isDeviceFailed(err) {
+		if err != nil && (isDeviceFailed(err) || errors.Is(err, blockdev.ErrUnreadable)) {
+			// The victim is being reclaimed, so an unreadable run is not
+			// repaired in place; like a failed column, it is reconstructed
+			// from parity or its clean pages are marked lost.
 			sg, seg, _, _ := c.lay.split(first)
 			if c.groups[sg].segParity[seg] >= 0 {
 				t, err = c.reconstructColumns(at, col, off, n*blockdev.PageSize)
 			} else {
 				for _, i := range run {
 					if live[i].dirty {
-						return fmt.Errorf("%w: dirty page %d on failed ssd %d in parityless segment",
+						return fmt.Errorf("%w: dirty page %d lost on ssd %d in parityless segment",
 							ErrDataLoss, live[i].lba, col)
 					}
 					live[i].lost = true
@@ -190,7 +226,7 @@ func (c *Cache) evacuate(at vtime.Time, victim int64, copyMode bool) ([]liveEntr
 		return nil
 	}
 	for i := range live {
-		if !live[i].read {
+		if !live[i].read || live[i].lost {
 			continue
 		}
 		if len(run) > 0 {
@@ -225,8 +261,8 @@ func (c *Cache) reclaim(at vtime.Time, victim int64) error {
 	if g.valid != 0 {
 		return fmt.Errorf("src: reclaiming group %d with %d valid pages", victim, g.valid)
 	}
-	for _, dev := range c.cfg.SSDs {
-		_, err := dev.Submit(at, blockdev.Request{
+	for col := range c.cfg.SSDs {
+		_, err := c.submitSSD(at, col, blockdev.Request{
 			Op:  blockdev.OpTrim,
 			Off: victim * c.cfg.EraseGroupSize,
 			Len: c.cfg.EraseGroupSize,
@@ -235,6 +271,9 @@ func (c *Cache) reclaim(at vtime.Time, victim int64) error {
 			return err
 		}
 	}
+	// Segments of a reclaimed group need no rebuild: the trim emptied them,
+	// and any refill writes every column anew.
+	c.rebuildForget(victim)
 	c.totalPaycap -= g.paycap
 	g.paycap = 0
 	g.state = groupFree
@@ -265,7 +304,8 @@ func (c *Cache) reinsert(at vtime.Time, live []liveEntry) error {
 			c.mapping[e.lba] = entry{state: stateBufClean, loc: int64(slot)}
 			c.counters.GCCopyBytes += blockdev.PageSize
 			if c.cleanBuf.Full() {
-				if _, err := c.writeSegment(at, c.cleanBuf, false); err != nil {
+				if _, err := c.writeSegment(at, c.cleanBuf, false); err != nil &&
+					!errors.Is(err, errSegmentAbandoned) {
 					return err
 				}
 			}
@@ -284,7 +324,8 @@ func (c *Cache) reinsert(at vtime.Time, live []liveEntry) error {
 		c.mapping[e.lba] = entry{state: state, loc: int64(slot)}
 		c.counters.GCCopyBytes += blockdev.PageSize
 		if buf.Full() {
-			if _, err := c.writeSegment(at, buf, true); err != nil {
+			if _, err := c.writeSegment(at, buf, true); err != nil &&
+				!errors.Is(err, errSegmentAbandoned) {
 				return err
 			}
 		}

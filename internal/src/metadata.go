@@ -34,12 +34,21 @@ var (
 	ErrBadSuperblock = errors.New("src: invalid superblock")
 )
 
-// summaryEntry describes one payload page of a column.
+// summaryEntry describes one payload page of a column. Entries are
+// positional: entry i describes payload page i+1 of the column, so a
+// summary written for a column whose earlier slots have been invalidated
+// must hold the position with a summaryFreeLBA entry rather than compact
+// the list.
 type summaryEntry struct {
 	lba     int64
 	version uint64
 	dirty   bool
 }
+
+// summaryFreeLBA marks a payload slot with no live page in a rebuilt
+// summary; recovery skips it without disturbing the positions of the
+// entries that follow.
+const summaryFreeLBA = -1
 
 // summary is the per-column segment summary.
 type summary struct {

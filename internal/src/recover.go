@@ -53,6 +53,16 @@ func (c *Cache) Recover() (int, error) {
 	c.freeSGs = nil
 	c.totalValid = 0
 	c.totalPaycap = 0
+	// Runtime failure-handling state does not survive a restart: error
+	// budgets restart fresh, and an interrupted rebuild must be restarted
+	// by the operator (the replacement device's rebuilt segments were
+	// recovered from its own durable summaries).
+	for i := range c.devErrs {
+		c.devErrs[i] = 0
+		c.colDown[i] = false
+	}
+	c.rebuild = nil
+	c.scrub = scrubCursor{sg: 1}
 	for sg := int64(1); sg < c.lay.numSG; sg++ {
 		g := &c.groups[sg]
 		g.state = groupFree
@@ -192,6 +202,9 @@ func (c *Cache) applySegment(rs recoveredSeg) {
 
 	for _, sum := range rs.cols {
 		for i, e := range sum.entries {
+			if e.lba == summaryFreeLBA {
+				continue // rebuilt summary holding an invalidated slot's place
+			}
 			loc := c.lay.loc(rs.sg, rs.seg, int(sum.col), int64(i)+1)
 			if old, ok := c.mapping[e.lba]; ok {
 				// A newer generation supersedes; generations are applied
@@ -251,8 +264,47 @@ func (c *Cache) ReadCheck(at vtime.Time, lba int64) (blockdev.Tag, vtime.Time, e
 		return want, at, nil // RAM copies cannot silently corrupt here
 	}
 	col, off := c.lay.devOffset(c.cfg, e.loc)
-	done, err := c.cfg.SSDs[col].Submit(at, blockdev.Request{Op: blockdev.OpRead, Off: off, Len: blockdev.PageSize})
-	if err != nil {
+	done, err := c.submitSSD(at, col, blockdev.Request{Op: blockdev.OpRead, Off: off, Len: blockdev.PageSize})
+	switch {
+	case err == nil:
+	case errors.Is(err, blockdev.ErrUnreadable):
+		// Latent sector error: repair in place (or drop + refetch when
+		// parityless), then re-verify. The recursion terminates: the page
+		// is now readable, has moved into a RAM buffer, or its column has
+		// escalated to fail-stop.
+		t, rerr := c.repairUnreadableRun(at, col, off, blockdev.PageSize, lba)
+		if rerr != nil {
+			return blockdev.ZeroTag, at, rerr
+		}
+		return c.ReadCheck(t, lba)
+	case errors.Is(err, blockdev.ErrDeviceFailed):
+		// Failed, fail-stopped, or awaiting rebuild: verify through the
+		// degraded path.
+		sg, seg, _, _ := c.lay.split(e.loc)
+		if int(c.groups[sg].segParity[seg]) >= 0 {
+			t, derr := c.degradedRead(at, col, off, blockdev.PageSize, lba)
+			if derr != nil {
+				return blockdev.ZeroTag, at, derr
+			}
+			fixed, rerr := c.ReconstructTag(e.loc)
+			if rerr != nil {
+				return blockdev.ZeroTag, t, rerr
+			}
+			if fixed != want {
+				return fixed, t, fmt.Errorf("%w: degraded read of page %d does not verify", ErrDataLoss, lba)
+			}
+			return fixed, t, nil
+		}
+		if e.state == stateSSDDirty {
+			return blockdev.ZeroTag, at, fmt.Errorf("%w: dirty page %d on failed ssd %d in parityless segment", ErrDataLoss, lba, col)
+		}
+		c.dropPage(lba, e)
+		t, ferr := c.fillFromPrimary(at, lba, 1)
+		if ferr != nil {
+			return blockdev.ZeroTag, at, ferr
+		}
+		return want, t, nil
+	default:
 		return blockdev.ZeroTag, at, err
 	}
 	got, err := c.cfg.SSDs[col].Content().ReadTag(off / blockdev.PageSize)
@@ -264,6 +316,7 @@ func (c *Cache) ReadCheck(at vtime.Time, lba int64) (blockdev.Tag, vtime.Time, e
 	}
 
 	// Silent corruption: repair from parity or primary.
+	c.repair.CorruptionsDetected++
 	sg, seg, _, _ := c.lay.split(e.loc)
 	if int(c.groups[sg].segParity[seg]) >= 0 {
 		t, derr := c.degradedRead(done, col, off, blockdev.PageSize, lba)
@@ -280,6 +333,7 @@ func (c *Cache) ReadCheck(at vtime.Time, lba int64) (blockdev.Tag, vtime.Time, e
 		if err := c.cfg.SSDs[col].Content().WriteTag(off/blockdev.PageSize, fixed); err != nil {
 			return fixed, t, err
 		}
+		c.repair.CorruptionsRepaired++
 		return fixed, t, nil
 	}
 	if e.state == stateSSDDirty {
@@ -291,5 +345,6 @@ func (c *Cache) ReadCheck(at vtime.Time, lba int64) (blockdev.Tag, vtime.Time, e
 	if ferr != nil {
 		return blockdev.ZeroTag, done, ferr
 	}
+	c.repair.CorruptionsRepaired++
 	return want, t, nil
 }

@@ -1,0 +1,182 @@
+package src
+
+import (
+	"errors"
+	"fmt"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+// Retry and escalation (md-style). Every SSD request the cache issues goes
+// through submitSSD: transient errors are retried with bounded virtual-time
+// backoff, latent sector errors surface as ErrUnreadable for in-place repair
+// from redundancy, and each corrected error counts against a per-device
+// budget. A device that exhausts the budget is escalated to column
+// fail-stop — from then on the cache treats it like a failed drive and serves
+// its ranges through the degraded path until it is replaced and rebuilt.
+
+// RepairStats accumulates the cache's self-healing activity.
+type RepairStats struct {
+	// Retries counts transient-error retries issued.
+	Retries int64
+	// TransientErrors counts transient device errors observed, including
+	// ones that a retry corrected.
+	TransientErrors int64
+	// UnreadableErrors counts latent-sector-error reads observed.
+	UnreadableErrors int64
+	// Escalations counts devices fail-stopped by the error budget.
+	Escalations int64
+	// RepairedPages counts pages repaired in place from redundancy
+	// (latent sector errors rewritten from parity reconstruction).
+	RepairedPages int64
+	// RebuiltSegments counts segment columns reconstructed onto a
+	// replacement device.
+	RebuiltSegments int64
+	// ScrubbedPages counts pages verified by the scrubber.
+	ScrubbedPages int64
+	// CorruptionsDetected counts tag mismatches found by ReadCheck.
+	CorruptionsDetected int64
+	// CorruptionsRepaired counts detected corruptions repaired from parity
+	// or by primary refetch.
+	CorruptionsRepaired int64
+}
+
+// RepairStats reports accumulated self-healing activity.
+func (c *Cache) RepairStats() RepairStats { return c.repair }
+
+// DeviceDown reports whether the cache has escalated the given SSD to
+// column fail-stop (error budget exhausted or rebuild pending superseded it).
+func (c *Cache) DeviceDown(col int) bool {
+	return col >= 0 && col < len(c.colDown) && c.colDown[col]
+}
+
+// DeviceErrors reports the corrected-error count charged against col's
+// budget since assembly (or its last replacement).
+func (c *Cache) DeviceErrors(col int) int64 {
+	if col < 0 || col >= len(c.devErrs) {
+		return 0
+	}
+	return c.devErrs[col]
+}
+
+// submitSSD is the single funnel for SSD requests: it enforces column
+// fail-stop, routes reads of not-yet-rebuilt ranges to the degraded path,
+// retries transient errors with exponential virtual-time backoff, and counts
+// corrected errors against the device's budget.
+func (c *Cache) submitSSD(at vtime.Time, col int, req blockdev.Request) (vtime.Time, error) {
+	if c.colDown[col] {
+		return at, fmt.Errorf("%w: ssd %d fail-stopped by error budget", blockdev.ErrDeviceFailed, col)
+	}
+	if req.Op == blockdev.OpRead && c.awaitingRebuild(col, req.Off) {
+		// The replacement device holds no data here yet; the degraded
+		// fallbacks (reconstruction or primary refetch) serve the read.
+		return at, fmt.Errorf("%w: ssd %d range awaiting rebuild", blockdev.ErrDeviceFailed, col)
+	}
+	dev := c.cfg.SSDs[col]
+	t, err := dev.Submit(at, req)
+	attempts := 0
+	for errors.Is(err, blockdev.ErrTransient) {
+		c.repair.TransientErrors++
+		if attempts >= c.cfg.RetryLimit {
+			c.noteDevError(col)
+			return at, fmt.Errorf("%w: ssd %d still transient after %d retries", blockdev.ErrDeviceFailed, col, attempts)
+		}
+		at = at.Add(c.cfg.RetryDelay << attempts)
+		attempts++
+		c.repair.Retries++
+		t, err = dev.Submit(at, req)
+	}
+	if attempts > 0 && err == nil {
+		// Corrected after retrying: one error against the budget, md-style.
+		c.noteDevError(col)
+	}
+	if errors.Is(err, blockdev.ErrUnreadable) {
+		c.repair.UnreadableErrors++
+		c.noteDevError(col)
+	}
+	return t, err
+}
+
+// noteDevError charges one corrected error against col's budget and
+// escalates the column to fail-stop when the budget is exhausted.
+func (c *Cache) noteDevError(col int) {
+	c.devErrs[col]++
+	if c.devErrs[col] >= c.cfg.ErrorBudget && !c.colDown[col] {
+		c.colDown[col] = true
+		c.repair.Escalations++
+	}
+}
+
+// repairUnreadableRun repairs a latent sector error covering the run
+// [off, off+n) on col: parity-protected ranges are reconstructed from the
+// survivors and rewritten in place (rewriting clears the latent error);
+// parityless clean ranges are dropped and refetched from primary storage.
+// firstLBA is the logical address of the run's first page.
+func (c *Cache) repairUnreadableRun(at vtime.Time, col int, off, n, firstLBA int64) (vtime.Time, error) {
+	sg := off / c.cfg.EraseGroupSize
+	seg := (off % c.cfg.EraseGroupSize) / c.cfg.SegmentColumn
+	pages := n / blockdev.PageSize
+	if int(c.groups[sg].segParity[seg]) < 0 {
+		// Same outcome as a failed column in a parityless segment: dirty
+		// data is gone; clean data is refetched.
+		for p := firstLBA; p < firstLBA+pages; p++ {
+			e, ok := c.mapping[p]
+			if !ok {
+				continue
+			}
+			if e.state == stateSSDDirty {
+				return at, fmt.Errorf("%w: dirty page %d unreadable on ssd %d in parityless segment", ErrDataLoss, p, col)
+			}
+			c.dropPage(p, e)
+		}
+		return c.fillFromPrimary(at, firstLBA, pages)
+	}
+	// Reconstruct from the survivors, then rewrite the range in place;
+	// the write clears the device's latent marks. The content tags were
+	// never lost (unreadable, not corrupted), so only timing is charged.
+	t, err := c.reconstructColumns(at, col, off, n)
+	if err != nil {
+		return at, err
+	}
+	wt, err := c.submitSSD(t, col, blockdev.Request{Op: blockdev.OpWrite, Off: off, Len: n})
+	if err != nil {
+		if isDeviceFailed(err) {
+			// Escalated mid-repair: the data was reconstructed and the
+			// degraded path keeps serving it; the rewrite just didn't land.
+			return t, nil
+		}
+		return t, err
+	}
+	c.repair.RepairedPages += pages
+	return wt, nil
+}
+
+// Introspection for failure harnesses.
+
+// CachedVersion reports the version the cache holds for lba and whether lba
+// is cached at all (in any state). Versions are meaningful only with
+// TrackContent.
+func (c *Cache) CachedVersion(lba int64) (uint64, bool) {
+	if _, ok := c.mapping[lba]; !ok {
+		return 0, false
+	}
+	return c.versions[lba], true
+}
+
+// CachedDirty reports whether lba is cached in a dirty state.
+func (c *Cache) CachedDirty(lba int64) bool {
+	e, ok := c.mapping[lba]
+	return ok && e.state.dirty()
+}
+
+// Locate reports the SSD column and device page index of lba's on-SSD copy;
+// ok is false when lba is uncached or lives in a RAM segment buffer.
+func (c *Cache) Locate(lba int64) (col int, page int64, ok bool) {
+	e, okm := c.mapping[lba]
+	if !okm || (e.state != stateSSDClean && e.state != stateSSDDirty) {
+		return 0, 0, false
+	}
+	col, off := c.lay.devOffset(c.cfg, e.loc)
+	return col, off / blockdev.PageSize, true
+}

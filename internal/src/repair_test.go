@@ -1,0 +1,436 @@
+package src
+
+import (
+	"errors"
+	"testing"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+// findDirtyOn locates a dirty on-SSD page whose column is col.
+func findDirtyOn(e *env, col int, maxLBA int64) (lba, page int64) {
+	for lba := int64(0); lba < maxLBA; lba++ {
+		en, ok := e.cache.mapping[lba]
+		if !ok || en.state != stateSSDDirty {
+			continue
+		}
+		if c, off := e.cache.lay.devOffset(e.cache.cfg, en.loc); c == col {
+			return lba, off / blockdev.PageSize
+		}
+	}
+	return -1, -1
+}
+
+// fillDirtySegments writes n full dirty segments and returns the pages per
+// segment.
+func fillDirtySegments(e *env, n int64) int64 {
+	capPages := int64(e.cache.dirtyBuf.Cap())
+	for lba := int64(0); lba < n*capPages; lba++ {
+		e.write(lba, 1)
+	}
+	return capPages
+}
+
+func TestTransientRetryCorrects(t *testing.T) {
+	e := newEnv(t, nil)
+	capPages := fillDirtySegments(e, 1)
+	target, _ := findDirtyOn(e, 0, capPages)
+	if target < 0 {
+		t.Fatal("no dirty page on ssd 0")
+	}
+	e.ssds[0].InjectTransient(2)
+	e.read(target, 1) // must succeed on the third attempt
+	st := e.cache.RepairStats()
+	if st.TransientErrors != 2 || st.Retries != 2 {
+		t.Fatalf("stats %+v, want 2 transients corrected by 2 retries", st)
+	}
+	if n := e.cache.DeviceErrors(0); n != 1 {
+		t.Fatalf("budget charge %d, want 1 (corrected errors count once, md-style)", n)
+	}
+	if e.cache.DeviceDown(0) {
+		t.Fatal("corrected transient escalated the column")
+	}
+}
+
+func TestTransientExhaustionFallsBackDegraded(t *testing.T) {
+	e := newEnv(t, nil)
+	capPages := fillDirtySegments(e, 1)
+	target, _ := findDirtyOn(e, 0, capPages)
+	if target < 0 {
+		t.Fatal("no dirty page on ssd 0")
+	}
+	// RetryLimit defaults to 3: initial try + 3 retries = 4 failures.
+	e.ssds[0].InjectTransient(4)
+	before := e.ssds[1].Stats().ReadOps
+	e.read(target, 1)
+	if e.ssds[1].Stats().ReadOps == before {
+		t.Fatal("exhausted retries did not fall back to parity reconstruction")
+	}
+	st := e.cache.RepairStats()
+	if st.TransientErrors != 4 || st.Retries != 3 {
+		t.Fatalf("stats %+v, want 4 transients / 3 retries", st)
+	}
+	if n := e.cache.DeviceErrors(0); n != 1 {
+		t.Fatalf("budget charge %d, want 1", n)
+	}
+	e.checkInvariants()
+}
+
+func TestUnreadableRepairedInPlaceFromParity(t *testing.T) {
+	e := newEnv(t, nil)
+	capPages := fillDirtySegments(e, 1)
+	target, page := findDirtyOn(e, 0, capPages)
+	if target < 0 {
+		t.Fatal("no dirty page on ssd 0")
+	}
+	e.ssds[0].InjectUnreadable(page)
+	before := e.ssds[1].Stats().ReadOps
+	e.read(target, 1)
+	if e.ssds[1].Stats().ReadOps == before {
+		t.Fatal("latent error repair did not read the survivors")
+	}
+	if n := e.ssds[0].UnreadablePages(); n != 0 {
+		t.Fatalf("latent error not cleared by repair rewrite: %d pages still bad", n)
+	}
+	st := e.cache.RepairStats()
+	if st.UnreadableErrors != 1 || st.RepairedPages != 1 {
+		t.Fatalf("stats %+v, want 1 unreadable / 1 repaired", st)
+	}
+	// The repaired page reads directly now.
+	survReads := e.ssds[1].Stats().ReadOps
+	e.read(target, 1)
+	if e.ssds[1].Stats().ReadOps != survReads {
+		t.Fatal("repaired page still reads degraded")
+	}
+	// The content is still the written version.
+	got, _, err := e.cache.ReadCheck(e.at, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != blockdev.DataTag(target, 1) {
+		t.Fatalf("repaired page tag %v, want version 1", got)
+	}
+	e.checkInvariants()
+}
+
+func TestUnreadableCleanNPCRefetches(t *testing.T) {
+	e := newEnv(t, nil)
+	capPages := int64(e.cache.cleanBuf.Cap())
+	e.read(0, capPages)
+	e.read(capPages, capPages)
+	var target, page int64 = -1, -1
+	for lba := int64(0); lba < 2*capPages; lba++ {
+		en, ok := e.cache.mapping[lba]
+		if !ok || en.state != stateSSDClean {
+			continue
+		}
+		if col, off := e.cache.lay.devOffset(e.cache.cfg, en.loc); col == 2 {
+			target, page = lba, off/blockdev.PageSize
+			break
+		}
+	}
+	if target < 0 {
+		t.Skip("no clean on-SSD page on ssd 2 at this geometry")
+	}
+	e.ssds[2].InjectUnreadable(page)
+	primReads := e.prim.Stats().ReadOps
+	if lat := e.read(target, 1); lat < vtime.Millisecond {
+		t.Fatalf("parityless latent-error refetch latency %v, want at least the 1 ms primary device", lat)
+	}
+	if e.prim.Stats().ReadOps == primReads {
+		t.Fatal("parityless latent error did not refetch from primary")
+	}
+	e.checkInvariants()
+}
+
+func TestErrorBudgetEscalatesColumn(t *testing.T) {
+	e := newEnv(t, func(c *Config) { c.ErrorBudget = 1 })
+	capPages := fillDirtySegments(e, 1)
+	target, page := findDirtyOn(e, 0, capPages)
+	if target < 0 {
+		t.Fatal("no dirty page on ssd 0")
+	}
+	e.ssds[0].InjectUnreadable(page)
+	e.read(target, 1) // the single budget error escalates column 0
+	if !e.cache.DeviceDown(0) {
+		t.Fatal("budget exhaustion did not escalate the column")
+	}
+	if st := e.cache.RepairStats(); st.Escalations != 1 {
+		t.Fatalf("stats %+v, want 1 escalation", st)
+	}
+	// The physically healthy but fail-stopped column now serves degraded.
+	before := e.ssds[1].Stats().ReadOps
+	e.read(target, 1)
+	if e.ssds[1].Stats().ReadOps == before {
+		t.Fatal("fail-stopped column read did not reconstruct from survivors")
+	}
+	// Flush must not touch the kicked device.
+	flushes := e.ssds[0].Stats().Flushes
+	if _, err := e.cache.Flush(e.at); err != nil {
+		t.Fatal(err)
+	}
+	if e.ssds[0].Stats().Flushes != flushes {
+		t.Fatal("flush sent to a fail-stopped column")
+	}
+	// RebuildSSD re-admits the column with a fresh budget.
+	if _, err := e.cache.RebuildSSD(e.at, 0); err != nil {
+		t.Fatal(err)
+	}
+	if e.cache.DeviceDown(0) || e.cache.DeviceErrors(0) != 0 {
+		t.Fatal("rebuild did not re-admit the column")
+	}
+	e.checkInvariants()
+}
+
+func TestReplaceSSDOnlineRebuild(t *testing.T) {
+	e := newEnv(t, nil)
+	capPages := fillDirtySegments(e, 6)
+	total := 6 * capPages
+	if _, err := e.cache.Flush(e.at); err != nil {
+		t.Fatal(err)
+	}
+	var onDrive []int64
+	for lba := int64(0); lba < total; lba++ {
+		en, ok := e.cache.mapping[lba]
+		if !ok || en.state != stateSSDDirty {
+			continue
+		}
+		if col, _ := e.cache.lay.devOffset(e.cache.cfg, en.loc); col == 1 {
+			onDrive = append(onDrive, lba)
+		}
+	}
+	if len(onDrive) == 0 {
+		t.Fatal("nothing on ssd 1")
+	}
+	e.ssds[1].Fail()
+
+	// Capacity mismatch is rejected.
+	small := blockdev.NewMemDevice(testSSDCap/2, 10*vtime.Microsecond)
+	if _, err := e.cache.ReplaceSSD(e.at, 1, small); err == nil {
+		t.Fatal("accepted undersized replacement")
+	}
+	fresh := blockdev.NewFaulty(blockdev.NewMemDevice(testSSDCap, 10*vtime.Microsecond))
+	done, err := e.cache.ReplaceSSD(e.at, 1, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.at = vtime.Max(e.at, done)
+	if !e.cache.Rebuilding() {
+		t.Fatal("not rebuilding after ReplaceSSD")
+	}
+	if _, err := e.cache.ReplaceSSD(e.at, 2, blockdev.NewMemDevice(testSSDCap, 10*vtime.Microsecond)); err == nil {
+		t.Fatal("accepted a second concurrent rebuild")
+	}
+	remaining, totalSegs := e.cache.RebuildProgress()
+	if totalSegs == 0 || remaining != totalSegs {
+		t.Fatalf("progress %d/%d after replace", remaining, totalSegs)
+	}
+
+	// Before any rebuild step, a not-yet-rebuilt page must verify through
+	// the degraded path (the fresh device holds nothing).
+	if got, _, err := e.cache.ReadCheck(e.at, onDrive[0]); err != nil || got != blockdev.DataTag(onDrive[0], 1) {
+		t.Fatalf("degraded ReadCheck during rebuild: tag %v err %v", got, err)
+	}
+
+	// Interleave foreground reads with rebuild steps.
+	served := 0
+	for i := 0; e.cache.Rebuilding(); i++ {
+		if i < len(onDrive) {
+			e.read(onDrive[i], 1)
+			served++
+		}
+		tstep, _, err := e.cache.RebuildStep(e.at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.at = vtime.Max(e.at, tstep)
+	}
+	if served == 0 {
+		t.Fatal("no foreground reads interleaved with the rebuild")
+	}
+	st := e.cache.RepairStats()
+	if st.RebuiltSegments == 0 {
+		t.Fatal("no segments rebuilt")
+	}
+	if r, tot := e.cache.RebuildProgress(); r != 0 || tot != 0 {
+		t.Fatalf("progress %d/%d after convergence", r, tot)
+	}
+	// Every page of the replaced column verifies against its written
+	// version on the new device.
+	for _, lba := range onDrive {
+		got, _, err := e.cache.ReadCheck(e.at, lba)
+		if err != nil {
+			t.Fatalf("ReadCheck(%d) after rebuild: %v", lba, err)
+		}
+		if got != blockdev.DataTag(lba, 1) {
+			t.Fatalf("page %d content wrong after rebuild", lba)
+		}
+	}
+	e.checkInvariants()
+}
+
+func TestScrubDetectsAndRepairsCorruption(t *testing.T) {
+	e := newEnv(t, nil)
+	capPages := fillDirtySegments(e, 2)
+	target, page := findDirtyOn(e, 0, 2*capPages)
+	if target < 0 {
+		t.Fatal("no dirty page on ssd 0")
+	}
+	if err := e.ssds[0].Content().Corrupt(page); err != nil {
+		t.Fatal(err)
+	}
+	done, err := e.cache.Scrub(e.at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.at = vtime.Max(e.at, done)
+	st := e.cache.RepairStats()
+	if st.ScrubbedPages == 0 {
+		t.Fatal("scrub verified nothing")
+	}
+	if st.CorruptionsDetected != 1 || st.CorruptionsRepaired != 1 {
+		t.Fatalf("stats %+v, want 1 corruption detected and repaired", st)
+	}
+	got, _, err := e.cache.ReadCheck(e.at, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != blockdev.DataTag(target, 1) {
+		t.Fatalf("scrubbed page tag %v, want version 1", got)
+	}
+	// A second pass is quiet.
+	if _, err := e.cache.Scrub(e.at); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.cache.RepairStats(); st.CorruptionsDetected != 1 {
+		t.Fatalf("second scrub pass found new corruption: %+v", st)
+	}
+	e.checkInvariants()
+}
+
+func TestScrubRequiresTrackContent(t *testing.T) {
+	e := newEnv(t, func(c *Config) { c.TrackContent = false })
+	if _, err := e.cache.ScrubStep(e.at); err == nil {
+		t.Fatal("scrub without TrackContent accepted")
+	}
+}
+
+// TestDegradedNPCRefetchChargesPrimaryLatency pins the satellite fix: the
+// drop-and-refetch path must charge the primary fill at the degraded read's
+// virtual time, so the caller sees at least the primary device latency.
+func TestDegradedNPCRefetchChargesPrimaryLatency(t *testing.T) {
+	e := newEnv(t, nil)
+	capPages := int64(e.cache.cleanBuf.Cap())
+	e.read(0, capPages)
+	e.read(capPages, capPages)
+	var target int64 = -1
+	for lba := int64(0); lba < 2*capPages; lba++ {
+		en, ok := e.cache.mapping[lba]
+		if !ok || en.state != stateSSDClean {
+			continue
+		}
+		if col, _ := e.cache.lay.devOffset(e.cache.cfg, en.loc); col == 2 {
+			target = lba
+			break
+		}
+	}
+	if target < 0 {
+		t.Skip("no clean on-SSD page on ssd 2 at this geometry")
+	}
+	e.ssds[2].Fail()
+	if lat := e.read(target, 1); lat < vtime.Millisecond {
+		t.Fatalf("degraded NPC refetch latency %v, want at least the 1 ms primary device", lat)
+	}
+	e.checkInvariants()
+}
+
+// TestRAID0DirtyColumnFailureIsDataLoss covers the parityless-dirty second
+// half of the failure matrix: under RAID-0 every segment is parityless, so a
+// column failure under dirty data is unrecoverable.
+func TestRAID0DirtyColumnFailureIsDataLoss(t *testing.T) {
+	e := newEnv(t, func(c *Config) { c.Level = RAID0 })
+	capPages := fillDirtySegments(e, 1)
+	target, _ := findDirtyOn(e, 0, capPages)
+	if target < 0 {
+		t.Fatal("no dirty page on ssd 0")
+	}
+	e.ssds[0].Fail()
+	_, err := e.cache.Submit(e.at, blockdev.Request{
+		Op: blockdev.OpRead, Off: target * blockdev.PageSize, Len: blockdev.PageSize,
+	})
+	if !errors.Is(err, ErrDataLoss) {
+		t.Fatalf("err = %v, want ErrDataLoss", err)
+	}
+}
+
+// TestWriteExhaustionAbandonsSegment covers the live-column write failure
+// path: a destage write that exhausts the retry budget must not leave the
+// segment half-written (raw pages without a summary blob would lose
+// flush-acknowledged dirty data at the next crash). The segment is
+// abandoned, its pages return to the buffer, and the flush retries them on
+// a fresh segment once the fault clears.
+func TestWriteExhaustionAbandonsSegment(t *testing.T) {
+	e := newEnv(t, nil)
+	// A couple of dirty pages, still buffered (buffer not full).
+	e.write(10, 1)
+	e.write(11, 1)
+	// RetryLimit defaults to 3: 4 armed faults exhaust one write attempt,
+	// then the retried segment write finds the device healthy again.
+	e.ssds[0].InjectTransient(4)
+	if _, err := e.cache.Flush(e.at); err != nil {
+		t.Fatalf("flush after transient exhaustion: %v", err)
+	}
+	if e.cache.RepairStats().TransientErrors < 4 {
+		t.Fatal("fault never fired: scenario did not exercise exhaustion")
+	}
+	for _, lba := range []int64{10, 11} {
+		if en, ok := e.cache.mapping[lba]; !ok || en.state != stateSSDDirty {
+			t.Fatalf("lba %d not destaged after retried flush", lba)
+		}
+	}
+	// The acknowledged data must survive a crash.
+	for _, d := range e.ssds {
+		d.Content().Crash()
+	}
+	if _, err := e.cache.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	for _, lba := range []int64{10, 11} {
+		if !e.cache.CachedDirty(lba) {
+			t.Fatalf("lba %d lost across crash despite acknowledged flush", lba)
+		}
+	}
+	e.checkInvariants()
+}
+
+// TestFlushRefusesFalseDurabilityAck: when a live device keeps rejecting
+// writes past the drain's retry bound, Flush must fail rather than
+// acknowledge durability it cannot provide — and the data must stay cached
+// so a later flush can still land it.
+func TestFlushRefusesFalseDurabilityAck(t *testing.T) {
+	e := newEnv(t, func(c *Config) { c.ErrorBudget = 1 << 30 })
+	e.write(10, 1)
+	// 8 abandoned attempts x 4 submissions each = 32 faults consumed per
+	// flush; 40 outlasts the first flush's bound but not the second's.
+	e.ssds[0].InjectTransient(40)
+	if _, err := e.cache.Flush(e.at); err == nil {
+		t.Fatal("flush acknowledged durability while every destage failed")
+	}
+	if !e.cache.CachedDirty(10) {
+		t.Fatal("failed flush dropped the dirty page")
+	}
+	if _, err := e.cache.Flush(e.at); err != nil {
+		t.Fatalf("flush after faults drained: %v", err)
+	}
+	for _, d := range e.ssds {
+		d.Content().Crash()
+	}
+	if _, err := e.cache.Recover(); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if !e.cache.CachedDirty(10) {
+		t.Fatal("lba 10 lost across crash despite acknowledged flush")
+	}
+	e.checkInvariants()
+}

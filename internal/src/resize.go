@@ -1,6 +1,7 @@
 package src
 
 import (
+	"errors"
 	"fmt"
 
 	"srccache/internal/blockdev"
@@ -89,6 +90,11 @@ func (c *Cache) Resize(at vtime.Time, ssds []blockdev.Device) (vtime.Time, error
 	}
 	c.cfg = newCfg
 	c.lay = newLayout(newCfg)
+	// Per-device failure-handling state restarts with the new member set.
+	c.devErrs = make([]int64, c.lay.m)
+	c.colDown = make([]bool, c.lay.m)
+	c.rebuild = nil
+	c.scrub = scrubCursor{sg: 1}
 	c.groups = make([]group, c.lay.numSG)
 	c.groups[0].state = groupSuperblock
 	c.freeSGs = nil
@@ -123,7 +129,8 @@ func (c *Cache) Resize(at vtime.Time, ssds []blockdev.Device) (vtime.Time, error
 			slot := c.dirtyBuf.Append(e.lba, e.tag)
 			c.mapping[e.lba] = entry{state: stateBufDirty, loc: int64(slot)}
 			if c.dirtyBuf.Full() {
-				if _, err := c.writeSegment(readDone, c.dirtyBuf, true); err != nil {
+				if _, err := c.writeSegment(readDone, c.dirtyBuf, true); err != nil &&
+					!errors.Is(err, errSegmentAbandoned) {
 					return at, err
 				}
 			}
@@ -132,14 +139,16 @@ func (c *Cache) Resize(at vtime.Time, ssds []blockdev.Device) (vtime.Time, error
 		slot := c.cleanBuf.Append(e.lba, e.tag)
 		c.mapping[e.lba] = entry{state: stateBufClean, loc: int64(slot)}
 		if c.cleanBuf.Full() {
-			if _, err := c.writeSegment(readDone, c.cleanBuf, false); err != nil {
+			if _, err := c.writeSegment(readDone, c.cleanBuf, false); err != nil &&
+				!errors.Is(err, errSegmentAbandoned) {
 				return at, err
 			}
 		}
 	}
 	// Write out the partial tails and make the new layout durable.
 	if !c.cleanBuf.Empty() {
-		if _, err := c.writeSegment(readDone, c.cleanBuf, false); err != nil {
+		if _, err := c.writeSegment(readDone, c.cleanBuf, false); err != nil &&
+			!errors.Is(err, errSegmentAbandoned) {
 			return at, err
 		}
 	}

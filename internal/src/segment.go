@@ -76,11 +76,20 @@ func (c *Cache) writeSegment(at vtime.Time, buf *segBuffer, dirty bool) (vtime.T
 
 	// Column-major slot assignment keeps logically consecutive pages
 	// physically consecutive within a column, so large reads coalesce.
+	// The buffer can transiently hold more than one segment's payload
+	// (an abandoned segment write re-buffers its pages on top of later
+	// appends); slots beyond this segment's capacity stay buffered.
 	perCol := make([][]summaryEntry, c.lay.m)
 	colTags := make([][]blockdev.Tag, c.lay.m)
+	segCap := int64(len(cols)) * c.lay.payloadPages
+	var overflow []bufSlot
 	idx := int64(0)
 	for _, slot := range slots {
 		if !slot.valid {
+			continue
+		}
+		if idx == segCap {
+			overflow = append(overflow, slot)
 			continue
 		}
 		col := cols[idx/c.lay.payloadPages]
@@ -100,10 +109,10 @@ func (c *Cache) writeSegment(at vtime.Time, buf *segBuffer, dirty bool) (vtime.T
 			colTags[col] = append(colTags[col], slot.tag)
 		}
 	}
-	capacity := int64(len(cols)) * c.lay.payloadPages
-	c.wastedSlots += capacity - idx
-	g.paycap += capacity
-	c.totalPaycap += capacity
+	c.rebuffer(buf, overflow, dirty)
+	c.wastedSlots += segCap - idx
+	g.paycap += segCap
+	c.totalPaycap += segCap
 
 	// Device writes: per participating column, [MS..last payload page] and
 	// the ME block (one contiguous write when the column is full).
@@ -128,17 +137,33 @@ func (c *Cache) writeSegment(at vtime.Time, buf *segBuffer, dirty bool) (vtime.T
 		}
 		t, werr := c.writeColumn(at, col, colBase, used)
 		if werr != nil {
-			if errors.Is(werr, blockdev.ErrDeviceFailed) {
+			if !errors.Is(werr, blockdev.ErrDeviceFailed) {
+				return at, werr
+			}
+			if c.colDown[col] {
+				// Degraded write, md-style: the fail-stopped column's
+				// slots stay parity-covered and are restored when the
+				// member is rebuilt.
 				failedCols = append(failedCols, col)
 				continue
 			}
-			return at, werr
+			// A live column rejected the write (transient errors past the
+			// retry budget, or a failed device not yet escalated). The
+			// column will be read raw again, so its stale pages must not
+			// carry live data, and its summary blob — the only durable
+			// record of its entries — was never written. Abandon the
+			// whole segment and return its pages to the buffer; the next
+			// destage retries on a fresh segment.
+			return c.abandonSegment(at, sg, seg, buf, slots, dirty, werr)
 		}
 		c.counters.MetadataBytes += 2 * blockdev.PageSize
 		done = vtime.Max(done, t)
 	}
 	if err := c.handleFailedColumns(failedCols, perCol, parity, dirty, sg, seg); err != nil {
 		return done, err
+	}
+	if c.gcBuf != nil && buf == c.gcBuf {
+		c.counters.GCSegments++
 	}
 
 	if c.cfg.TrackContent {
@@ -148,8 +173,14 @@ func (c *Cache) writeSegment(at vtime.Time, buf *segBuffer, dirty bool) (vtime.T
 	}
 
 	// Flush-command control (paper §4.1): per segment write, or when the
-	// active group just filled.
-	if c.cfg.Flush == FlushPerSegment || seg == c.lay.segsPerSG-1 {
+	// active group just filled. Suppressed while GC or a rebuild runs: a
+	// flush there would commit the destruction of old durable records —
+	// reclaimed groups being reused, rebuilt summaries holding sentinels
+	// for slots invalidated since the last flush — before the replacement
+	// copies leave RAM. GC drains the dirty buffers before returning and
+	// the rebuild completion barrier drains before flushing, so those
+	// destructions always commit together with their replacements.
+	if !c.inGC && c.rebuild == nil && (c.cfg.Flush == FlushPerSegment || seg == c.lay.segsPerSG-1) {
 		t, ferr := c.flushSSDs(done)
 		if ferr != nil {
 			return done, ferr
@@ -166,21 +197,73 @@ func ssdState(dirty bool) pageState {
 	return stateSSDClean
 }
 
+// errSegmentAbandoned reports a segment write abandoned because a live
+// column's device rejected it; the segment's pages were re-buffered and a
+// later destage retries them on a fresh segment. The host write and fill
+// paths swallow it (the data is safely buffered); Flush bounds its retries
+// and surfaces the failure rather than acknowledge durability it cannot
+// provide.
+var errSegmentAbandoned = errors.New("src: segment write abandoned")
+
+// rebuffer returns slots to their source buffer: pages that did not land
+// in a segment, either because the buffer held more than one segment's
+// capacity or because the segment write was abandoned.
+func (c *Cache) rebuffer(buf *segBuffer, slots []bufSlot, dirty bool) {
+	st := stateBufClean
+	if dirty {
+		if buf == c.gcBuf {
+			st = stateBufGC
+		} else {
+			st = stateBufDirty
+		}
+	}
+	for _, slot := range slots {
+		if !slot.valid {
+			continue
+		}
+		i := buf.Append(slot.lba, slot.tag)
+		c.mapping[slot.lba] = entry{state: st, loc: int64(i)}
+	}
+}
+
+// abandonSegment unwinds writeSegment after a column write failed on a
+// live (not fail-stopped) member: every slot just assigned to the segment
+// is freed and its page returned to the source buffer, so no mapping
+// points into a segment whose content and summary never fully reached the
+// devices. The segment itself stays allocated and empty; GC reclaims it
+// with its group.
+func (c *Cache) abandonSegment(at vtime.Time, sg, seg int64, buf *segBuffer, slots []bufSlot, dirty bool, cause error) (vtime.Time, error) {
+	var back []bufSlot
+	for _, slot := range slots {
+		if !slot.valid {
+			continue
+		}
+		e, ok := c.mapping[slot.lba]
+		if !ok || (e.state != stateSSDClean && e.state != stateSSDDirty) {
+			continue // capacity overflow: already re-buffered above
+		}
+		c.invalidateSSD(e.loc)
+		delete(c.mapping, slot.lba)
+		back = append(back, slot)
+	}
+	c.rebuffer(buf, back, dirty)
+	return at, fmt.Errorf("%w: group %d segment %d: %v", errSegmentAbandoned, sg, seg, cause)
+}
+
 // writeColumn issues the device writes for one column: MS plus `used`
 // payload pages as one run, and the ME block.
 func (c *Cache) writeColumn(at vtime.Time, col int, colBase, used int64) (vtime.Time, error) {
-	dev := c.cfg.SSDs[col]
 	if used >= c.lay.payloadPages {
 		// Full column: MS + payload + ME are contiguous.
-		return dev.Submit(at, blockdev.Request{Op: blockdev.OpWrite, Off: colBase, Len: c.cfg.SegmentColumn})
+		return c.submitSSD(at, col, blockdev.Request{Op: blockdev.OpWrite, Off: colBase, Len: c.cfg.SegmentColumn})
 	}
-	t1, err := dev.Submit(at, blockdev.Request{
+	t1, err := c.submitSSD(at, col, blockdev.Request{
 		Op: blockdev.OpWrite, Off: colBase, Len: (1 + used) * blockdev.PageSize,
 	})
 	if err != nil {
 		return at, err
 	}
-	t2, err := dev.Submit(at, blockdev.Request{
+	t2, err := c.submitSSD(at, col, blockdev.Request{
 		Op: blockdev.OpWrite, Off: colBase + (c.lay.pagesPerCol-1)*blockdev.PageSize, Len: blockdev.PageSize,
 	})
 	if err != nil {

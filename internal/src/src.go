@@ -47,6 +47,12 @@ type Cache struct {
 	counters    bench.Counters
 	lastWriteAt vtime.Time
 	wastedSlots int64 // padding from partial segments and dead buffer slots
+
+	devErrs []int64 // corrected errors charged per SSD (md-style budget)
+	colDown []bool  // columns escalated to fail-stop by the error budget
+	rebuild *rebuildState
+	scrub   scrubCursor
+	repair  RepairStats
 }
 
 var _ bench.Cache = (*Cache)(nil)
@@ -66,6 +72,9 @@ func New(cfg Config) (*Cache, error) {
 		active:  -1,
 		mapping: make(map[int64]entry),
 		hot:     bitmap.New(cfg.Primary.Capacity() / blockdev.PageSize),
+		devErrs: make([]int64, lay.m),
+		colDown: make([]bool, lay.m),
+		scrub:   scrubCursor{sg: 1},
 	}
 	if cfg.TrackContent {
 		c.versions = make(map[int64]uint64)
@@ -243,7 +252,10 @@ func (c *Cache) hostWrite(at vtime.Time, req blockdev.Request) (vtime.Time, erro
 		if c.dirtyBuf.Full() {
 			done, err := c.writeSegment(ack, c.dirtyBuf, true)
 			if err != nil {
-				return ack, err
+				if !errors.Is(err, errSegmentAbandoned) {
+					return ack, err
+				}
+				continue // still buffered; a later destage retries
 			}
 			ack = done
 		}
@@ -335,13 +347,17 @@ func (c *Cache) hostRead(at vtime.Time, req blockdev.Request) (vtime.Time, error
 	return done, nil
 }
 
-// readSSD reads a contiguous run from one SSD, falling back to
-// reconstruction (parity) or primary refetch (parityless clean) when the
-// device has failed.
+// readSSD reads a contiguous run from one SSD: latent sector errors are
+// repaired in place from redundancy, and failed (or fail-stopped, or
+// not-yet-rebuilt) columns fall back to reconstruction (parity) or primary
+// refetch (parityless clean).
 func (c *Cache) readSSD(at vtime.Time, col int, off, n int64, loc int64) (vtime.Time, error) {
-	t, err := c.cfg.SSDs[col].Submit(at, blockdev.Request{Op: blockdev.OpRead, Off: off, Len: n})
+	t, err := c.submitSSD(at, col, blockdev.Request{Op: blockdev.OpRead, Off: off, Len: n})
 	if err == nil {
 		return t, nil
+	}
+	if errors.Is(err, blockdev.ErrUnreadable) {
+		return c.repairUnreadableRun(at, col, off, n, loc)
 	}
 	if !errors.Is(err, blockdev.ErrDeviceFailed) {
 		return at, err
@@ -375,8 +391,10 @@ func (c *Cache) fillFromPrimary(at vtime.Time, lba, pages int64) (vtime.Time, er
 		c.mapping[p] = entry{state: stateBufClean, loc: int64(slot)}
 		if c.cleanBuf.Full() {
 			// Clean segment writes happen off the acknowledgement path:
-			// the staging buffer already answered the host.
-			if _, err := c.writeSegment(done, c.cleanBuf, false); err != nil {
+			// the staging buffer already answered the host. An abandoned
+			// write keeps the fills buffered for a later retry.
+			if _, err := c.writeSegment(done, c.cleanBuf, false); err != nil &&
+				!errors.Is(err, errSegmentAbandoned) {
 				return done, err
 			}
 		}
@@ -389,26 +407,48 @@ func (c *Cache) fillFromPrimary(at vtime.Time, lba, pages int64) (vtime.Time, er
 // data is parity-protected on the SSD array, primary storage need not be
 // touched (the design point distinguishing SRC from flush-through caches).
 func (c *Cache) Flush(at vtime.Time) (vtime.Time, error) {
-	done := at
-	if !c.dirtyBuf.Empty() {
-		t, err := c.writeSegment(at, c.dirtyBuf, true)
-		if err != nil {
-			return at, err
-		}
-		done = vtime.Max(done, t)
-	}
-	if c.gcBuf != nil && !c.gcBuf.Empty() {
-		t, err := c.writeSegment(at, c.gcBuf, true)
-		if err != nil {
-			return at, err
-		}
-		done = vtime.Max(done, t)
+	done, err := c.drainDirty(at)
+	if err != nil {
+		return at, err
 	}
 	t, err := c.flushSSDs(done)
 	if err != nil {
 		return at, err
 	}
 	return vtime.Max(done, t), nil
+}
+
+// drainDirty destages the dirty buffers completely: a buffer can hold more
+// than one segment's payload after an abandoned destage re-buffered its
+// pages. Abandoned writes are retried on fresh segments — every retry
+// consumes the failing device's transient faults or error budget, so the
+// write either lands or the column escalates to fail-stop and the degraded
+// write path takes over. The bound keeps a persistently rejecting live
+// device from stalling the drain; the caller then sees the device error
+// instead of a false durability acknowledgement.
+func (c *Cache) drainDirty(at vtime.Time) (vtime.Time, error) {
+	done := at
+	for attempts := 0; ; {
+		buf := c.dirtyBuf
+		if buf.Empty() {
+			if c.gcBuf == nil || c.gcBuf.Empty() {
+				return done, nil
+			}
+			buf = c.gcBuf
+		}
+		t, err := c.writeSegment(done, buf, true)
+		if errors.Is(err, errSegmentAbandoned) {
+			attempts++
+			if attempts >= 8 {
+				return at, fmt.Errorf("src: cannot destage dirty data: %w", err)
+			}
+			continue
+		}
+		if err != nil {
+			return at, err
+		}
+		done = vtime.Max(done, t)
+	}
 }
 
 // Tick implements the partial-segment timeout (paper §4.1): when no write
@@ -418,14 +458,21 @@ func (c *Cache) Tick(at vtime.Time) (vtime.Time, error) {
 	if c.dirtyBuf.Empty() || at.Sub(c.lastWriteAt) < c.cfg.TWait {
 		return at, nil
 	}
-	return c.writeSegment(at, c.dirtyBuf, true)
+	done, err := c.writeSegment(at, c.dirtyBuf, true)
+	if errors.Is(err, errSegmentAbandoned) {
+		return at, nil // still buffered; the next tick or flush retries
+	}
+	return done, err
 }
 
 // flushSSDs issues the flush command to every SSD and returns the last
-// completion.
+// completion. Fail-stopped columns are skipped.
 func (c *Cache) flushSSDs(at vtime.Time) (vtime.Time, error) {
 	done := at
-	for _, d := range c.cfg.SSDs {
+	for col, d := range c.cfg.SSDs {
+		if c.colDown[col] {
+			continue
+		}
 		t, err := d.Flush(at)
 		if err != nil {
 			if errors.Is(err, blockdev.ErrDeviceFailed) {
