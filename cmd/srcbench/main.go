@@ -85,7 +85,7 @@ func run(args []string, stdout io.Writer) error {
 		todo = []experiments.Experiment{e}
 	}
 	for _, e := range todo {
-		start := time.Now() //srclint:allow wallclock progress timing on stderr, tables stay virtual-time
+		start := time.Now()
 		tables, err := e.Run(opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.Name, err)

@@ -1,18 +1,29 @@
-// Command srclint checks this repository's determinism and I/O-error
-// contracts (DESIGN.md, "Determinism contract"):
+// Command srclint checks this repository's determinism, I/O-error and
+// flush-epoch contracts (DESIGN.md §8):
 //
 //	wallclock   simulation packages must use internal/vtime, never the host clock
 //	seededrand  randomness comes from injected seeded *rand.Rand values only
 //	maprange    map iteration order must not reach slices or writers unsorted
 //	ioerr       blockdev/raid I/O errors must never be discarded
+//	errpath     an error bound from a blockdev/raid call must be read on every path
+//	lockheld    no sync.Mutex/RWMutex held across blockdev/raid/netblock I/O
+//	flushepoch  //srclint:contract flush functions drain/flush on every success path
 //
-// Run standalone (srclint ./...) or as a vet tool:
+// The last three are path-sensitive: they run over per-function control-flow
+// graphs (internal/analysis/cfg) rather than the bare syntax tree.
+//
+// Run standalone (srclint ./...), with -json for machine-readable NDJSON
+// findings on stdout, or as a vet tool:
 //
 //	go build -o bin/srclint ./cmd/srclint
 //	go vet -vettool=$PWD/bin/srclint ./...
 //
-// Suppress an individual finding with //srclint:allow <check> [reason] on
-// or directly above the offending line.
+// Suppress an individual finding with //srclint:allow <check>[,<check>...]
+// [reason] on or directly above the offending line; a directive that
+// suppresses nothing is itself reported (staleallow). Mark a function whose
+// success paths must reach a drain/flush call — summary commits, group
+// reuse, rebuild completion — with //srclint:contract flush in its doc
+// comment; flushepoch then enforces the flush-epoch invariant statically.
 package main
 
 import (
@@ -20,7 +31,10 @@ import (
 
 	"srccache/internal/analysis"
 	"srccache/internal/analysis/driver"
+	"srccache/internal/analysis/errpath"
+	"srccache/internal/analysis/flushepoch"
 	"srccache/internal/analysis/ioerr"
+	"srccache/internal/analysis/lockheld"
 	"srccache/internal/analysis/maprange"
 	"srccache/internal/analysis/seededrand"
 	"srccache/internal/analysis/wallclock"
@@ -32,5 +46,8 @@ func main() {
 		seededrand.Analyzer,
 		maprange.Analyzer,
 		ioerr.Analyzer,
+		errpath.Analyzer,
+		lockheld.Analyzer,
+		flushepoch.Analyzer,
 	}))
 }

@@ -52,9 +52,11 @@ type Pass struct {
 	// Report delivers one diagnostic. The driver fills it in.
 	Report func(Diagnostic)
 
-	// allow maps analyzer name -> file:line positions carrying an
-	// //srclint:allow directive, built lazily from Files.
-	allow map[string]map[fileLine]bool
+	// Dirs holds the package's parsed //srclint:allow directives. The
+	// driver shares one Directives across every analyzer's pass so that
+	// suppressions which never fire can be reported as stale; when nil it
+	// is built lazily from Files (analysistest and direct Pass use).
+	Dirs *Directives
 }
 
 // A Diagnostic is one finding at a source position.
@@ -84,24 +86,43 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Allowed reports whether a //srclint:allow directive for the named check
 // covers pos: the directive sits either on the same line (trailing comment)
-// or on the line directly above the offending one.
+// or on the line directly above the offending one. A directive that covers
+// a diagnostic is marked used; the driver reports the ones that never fire
+// as stale (check name "staleallow").
 func (p *Pass) Allowed(name string, pos token.Pos) bool {
-	if p.allow == nil {
-		p.allow = parseAllowDirectives(p.Fset, p.Files)
+	if p.Dirs == nil {
+		p.Dirs = ParseDirectives(p.Fset, p.Files)
 	}
-	lines := p.allow[name]
-	if lines == nil {
-		return false
-	}
-	posn := p.Fset.Position(pos)
-	return lines[fileLine{posn.Filename, posn.Line}] ||
-		lines[fileLine{posn.Filename, posn.Line - 1}]
+	return p.Dirs.Covers(name, p.Fset.Position(pos))
 }
 
 const allowPrefix = "//srclint:allow"
 
-func parseAllowDirectives(fset *token.FileSet, files []*ast.File) map[string]map[fileLine]bool {
-	out := make(map[string]map[fileLine]bool)
+// An allowEntry is one (directive, check name) pair: a directive naming
+// three checks contributes three entries, each tracked for staleness on its
+// own.
+type allowEntry struct {
+	name string
+	at   fileLine
+	pos  token.Pos
+	used bool
+}
+
+// Directives is the parsed set of a package's //srclint:allow comments,
+// with per-entry usage tracking. One Directives is shared across every
+// analyzer applied to the package.
+type Directives struct {
+	entries []*allowEntry
+	// byName indexes entries by check name and directive position.
+	byName map[string]map[fileLine]*allowEntry
+}
+
+// ParseDirectives collects the //srclint:allow directives of a package's
+// files. The directive payload is one comma-separated list of check names
+// (no spaces) followed by free-form reason text: the name list ends at the
+// first whitespace, so reason words can never be mistaken for check names.
+func ParseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{byName: make(map[string]map[fileLine]*allowEntry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -111,21 +132,62 @@ func parseAllowDirectives(fset *token.FileSet, files []*ast.File) map[string]map
 				}
 				posn := fset.Position(c.Slash)
 				at := fileLine{posn.Filename, posn.Line}
-				// Directive payload: comma/space separated names;
-				// anything after the names is free-form reason text.
-				for _, name := range strings.FieldsFunc(rest, func(r rune) bool {
-					return r == ',' || r == ' ' || r == '\t'
-				}) {
+				nameList, _, _ := strings.Cut(strings.TrimLeft(rest, " \t"), " ")
+				nameList, _, _ = strings.Cut(nameList, "\t")
+				for _, name := range strings.Split(nameList, ",") {
 					if !isCheckName(name) {
-						break // reached the reason text
+						continue // stray comma or malformed name
 					}
-					if out[name] == nil {
-						out[name] = make(map[fileLine]bool)
+					e := &allowEntry{name: name, at: at, pos: c.Slash}
+					d.entries = append(d.entries, e)
+					if d.byName[name] == nil {
+						d.byName[name] = make(map[fileLine]*allowEntry)
 					}
-					out[name][at] = true
+					d.byName[name][at] = e
 				}
 			}
 		}
+	}
+	return d
+}
+
+// Covers reports whether a directive for the named check covers a
+// diagnostic at posn (same line or the line directly above), marking any
+// matching directive entry as used.
+func (d *Directives) Covers(name string, posn token.Position) bool {
+	lines := d.byName[name]
+	if lines == nil {
+		return false
+	}
+	covered := false
+	if e := lines[fileLine{posn.Filename, posn.Line}]; e != nil {
+		e.used = true
+		covered = true
+	}
+	if e := lines[fileLine{posn.Filename, posn.Line - 1}]; e != nil {
+		e.used = true
+		covered = true
+	}
+	return covered
+}
+
+// Stale returns one diagnostic per directive entry that suppressed no
+// diagnostic in this package (including entries naming a check that does
+// not exist), so suppressions cannot rot. Stale-allow findings are not
+// themselves suppressible.
+func (d *Directives) Stale() []Diagnostic {
+	var out []Diagnostic
+	for _, e := range d.entries {
+		if e.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      e.pos,
+			Category: "staleallow",
+			Message: fmt.Sprintf(
+				"//srclint:allow %s suppresses no diagnostic in this package; delete the stale directive (or fix its check name)",
+				e.name),
+		})
 	}
 	return out
 }
@@ -140,6 +202,26 @@ func isCheckName(s string) bool {
 		}
 	}
 	return true
+}
+
+// Callee resolves the function or method a call expression invokes: method
+// values (including interface methods) via info.Selections, plain and
+// package-qualified calls via info.Uses. It returns nil for calls through
+// function-typed variables, builtins, and conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fun]; sel != nil {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
 }
 
 // NormalizePkgPath maps the package-path spellings produced by the go

@@ -1,0 +1,341 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// fact is the singleton must/may fact used by the tests: calls to gen() add
+// it, calls to kill() remove it.
+type fact struct{}
+
+var testProblemTransfer = func(n ast.Node, facts Facts) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "gen":
+				facts[fact{}] = true
+			case "kill":
+				delete(facts, fact{})
+			}
+		}
+		return true
+	})
+}
+
+// atReturns runs the test problem over src (the body of a function with
+// int-literal returns) and reports, for each `return N`, whether the fact
+// holds immediately before the return.
+func atReturns(t *testing.T, src string, must bool) map[string]bool {
+	t.Helper()
+	g := buildGraph(t, src)
+	p := Problem{Transfer: testProblemTransfer, Must: must}
+	ins := Solve(g, p)
+	out := make(map[string]bool)
+	Visit(g, p, ins, func(n ast.Node, before Facts) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return
+		}
+		lit, ok := ret.Results[0].(*ast.BasicLit)
+		if !ok {
+			return
+		}
+		out[lit.Value] = before[fact{}]
+	})
+	return out
+}
+
+func buildGraph(t *testing.T, body string) *Graph {
+	t.Helper()
+	file := "package p\nfunc gen()\nfunc kill()\nfunc cond() bool\nfunc f() int {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return New(fd.Body)
+		}
+	}
+	t.Fatal("no func f")
+	return nil
+}
+
+func expect(t *testing.T, got map[string]bool, want map[string]bool) {
+	t.Helper()
+	for ret, w := range want {
+		g, ok := got[ret]
+		if !ok {
+			t.Errorf("return %s: not visited (unreachable?)", ret)
+			continue
+		}
+		if g != w {
+			t.Errorf("return %s: fact = %v, want %v", ret, g, w)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("visited returns %v, want %v", got, want)
+	}
+}
+
+func TestIfElseBothGen(t *testing.T) {
+	got := atReturns(t, `
+	if cond() {
+		gen()
+	} else {
+		gen()
+	}
+	return 1`, true)
+	expect(t, got, map[string]bool{"1": true})
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	src := `
+	if cond() {
+		gen()
+	}
+	return 1`
+	expect(t, atReturns(t, src, true), map[string]bool{"1": false})
+	expect(t, atReturns(t, src, false), map[string]bool{"1": true})
+}
+
+func TestEarlyReturnInBranch(t *testing.T) {
+	got := atReturns(t, `
+	if cond() {
+		return 1
+	}
+	gen()
+	return 2`, true)
+	expect(t, got, map[string]bool{"1": false, "2": true})
+}
+
+func TestForZeroIterations(t *testing.T) {
+	// A for loop may run zero times, so a gen inside the body is not a
+	// must-fact after it; a gen before the loop survives it.
+	expect(t, atReturns(t, `
+	for i := 0; i < 3; i++ {
+		gen()
+	}
+	return 1`, true), map[string]bool{"1": false})
+	expect(t, atReturns(t, `
+	gen()
+	for i := 0; i < 3; i++ {
+	}
+	return 1`, true), map[string]bool{"1": true})
+}
+
+func TestForKillInBody(t *testing.T) {
+	got := atReturns(t, `
+	gen()
+	for i := 0; i < 3; i++ {
+		kill()
+	}
+	return 1`, true)
+	expect(t, got, map[string]bool{"1": false})
+}
+
+func TestInfiniteForWithBreak(t *testing.T) {
+	got := atReturns(t, `
+	for {
+		if cond() {
+			gen()
+			break
+		}
+	}
+	return 1`, true)
+	expect(t, got, map[string]bool{"1": true})
+}
+
+func TestRangeZeroIterations(t *testing.T) {
+	got := atReturns(t, `
+	xs := []int{1}
+	for range xs {
+		gen()
+	}
+	return 1`, true)
+	expect(t, got, map[string]bool{"1": false})
+}
+
+func TestSwitchBypassWithoutDefault(t *testing.T) {
+	src := `
+	switch {
+	case cond():
+		gen()
+	case !cond():
+		gen()
+	}
+	return 1`
+	expect(t, atReturns(t, src, true), map[string]bool{"1": false})
+
+	withDefault := `
+	switch {
+	case cond():
+		gen()
+	default:
+		gen()
+	}
+	return 1`
+	expect(t, atReturns(t, withDefault, true), map[string]bool{"1": true})
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	// The gen in the first case reaches the second case's return only via
+	// fallthrough — a may-fact there, not a must-fact (the second case is
+	// also entered directly). The return after the switch is reached only
+	// through the no-case-matched bypass, which never gens.
+	src := `
+	switch 1 {
+	case 1:
+		gen()
+		fallthrough
+	case 2:
+		return 1
+	}
+	return 2`
+	expect(t, atReturns(t, src, false), map[string]bool{"1": true, "2": false})
+	expect(t, atReturns(t, src, true), map[string]bool{"1": false, "2": false})
+}
+
+func TestTypeSwitch(t *testing.T) {
+	got := atReturns(t, `
+	var v any = 1
+	switch v.(type) {
+	case int:
+		gen()
+	default:
+		gen()
+	}
+	return 1`, true)
+	expect(t, got, map[string]bool{"1": true})
+}
+
+func TestSelectAllCasesGen(t *testing.T) {
+	// Select has no bypass edge: one of the cases always runs.
+	got := atReturns(t, `
+	ch := make(chan int)
+	select {
+	case <-ch:
+		gen()
+	default:
+		gen()
+	}
+	return 1`, true)
+	expect(t, got, map[string]bool{"1": true})
+}
+
+func TestLabeledBreakSkipsGen(t *testing.T) {
+	got := atReturns(t, `
+outer:
+	for {
+		for {
+			if cond() {
+				break outer
+			}
+			gen()
+			break
+		}
+		gen()
+		return 1
+	}
+	return 2`, true)
+	expect(t, got, map[string]bool{"1": true, "2": false})
+}
+
+func TestLabeledContinue(t *testing.T) {
+	got := atReturns(t, `
+outer:
+	for i := 0; i < 2; i++ {
+		for {
+			continue outer
+		}
+	}
+	gen()
+	return 1`, true)
+	expect(t, got, map[string]bool{"1": true})
+}
+
+func TestGotoBackward(t *testing.T) {
+	got := atReturns(t, `
+	i := 0
+again:
+	gen()
+	i++
+	if i < 3 {
+		goto again
+	}
+	return 1`, true)
+	expect(t, got, map[string]bool{"1": true})
+}
+
+func TestPanicPathDoesNotReachReturn(t *testing.T) {
+	// The panicking branch never reaches the return, so the missing gen on
+	// it does not break the must-fact.
+	got := atReturns(t, `
+	if cond() {
+		panic("boom")
+	}
+	gen()
+	return 1`, true)
+	expect(t, got, map[string]bool{"1": true})
+}
+
+func TestUnreachableAfterReturnNotVisited(t *testing.T) {
+	g := buildGraph(t, `
+	gen()
+	return 1
+	return 2`)
+	p := Problem{Transfer: testProblemTransfer, Must: true}
+	ins := Solve(g, p)
+	visited := map[string]bool{}
+	Visit(g, p, ins, func(n ast.Node, before Facts) {
+		if ret, ok := n.(*ast.ReturnStmt); ok && len(ret.Results) == 1 {
+			if lit, ok := ret.Results[0].(*ast.BasicLit); ok {
+				visited[lit.Value] = true
+			}
+		}
+	})
+	if !visited["1"] || visited["2"] {
+		t.Errorf("visited = %v, want only return 1", visited)
+	}
+}
+
+func TestExitFacts(t *testing.T) {
+	g := buildGraph(t, `
+	if cond() {
+		gen()
+		return 1
+	}
+	return 2`)
+	p := Problem{Transfer: testProblemTransfer, Must: false}
+	ins := Solve(g, p)
+	if f := ExitFacts(g, ins); !f[fact{}] {
+		t.Errorf("exit facts = %v, want may-fact present", f)
+	}
+}
+
+func TestEntryFactsSeed(t *testing.T) {
+	g := buildGraph(t, `return 1`)
+	p := Problem{
+		Transfer: testProblemTransfer,
+		Must:     true,
+		Entry:    Facts{fact{}: true},
+	}
+	ins := Solve(g, p)
+	seen := false
+	Visit(g, p, ins, func(n ast.Node, before Facts) {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			seen = before[fact{}]
+		}
+	})
+	if !seen {
+		t.Error("entry fact did not reach the return")
+	}
+}

@@ -1,0 +1,115 @@
+package cfg
+
+import "go/ast"
+
+// Facts is a set of dataflow facts. Keys are analyzer-chosen comparable
+// values (a types.Object, a gen-site node, a sentinel struct).
+type Facts map[any]bool
+
+// clone copies a fact set.
+func (f Facts) clone() Facts {
+	out := make(Facts, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// A Problem is one forward gen/kill dataflow analysis.
+type Problem struct {
+	// Transfer applies one node's gen and kill effects to facts in place.
+	// It must be deterministic and depend only on the node and the set.
+	Transfer func(n ast.Node, facts Facts)
+	// Must selects the merge at join points: true intersects (a fact
+	// survives only if it holds on every incoming path — "definitely
+	// drained"), false unions (it survives if it holds on any path —
+	// "possibly locked").
+	Must bool
+	// Entry seeds the fact set at function entry (nil for empty).
+	Entry Facts
+}
+
+// Solve iterates the problem to a fixpoint and returns the facts holding at
+// the entry of each reachable block. Unreachable blocks are absent from the
+// result; analyzers should not report into them.
+func Solve(g *Graph, p Problem) map[*Block]Facts {
+	ins := make(map[*Block]Facts)
+	entry := p.Entry
+	if entry == nil {
+		entry = Facts{}
+	}
+	ins[g.Entry] = entry.clone()
+
+	worklist := []*Block{g.Entry}
+	inList := map[*Block]bool{g.Entry: true}
+	for len(worklist) > 0 {
+		blk := worklist[0]
+		worklist = worklist[1:]
+		inList[blk] = false
+
+		out := ins[blk].clone()
+		for _, n := range blk.Nodes {
+			p.Transfer(n, out)
+		}
+		for _, succ := range blk.Succs {
+			if !merge(ins, succ, out, p.Must) {
+				continue
+			}
+			if !inList[succ] {
+				inList[succ] = true
+				worklist = append(worklist, succ)
+			}
+		}
+	}
+	return ins
+}
+
+// merge folds out into succ's entry facts and reports whether they changed.
+func merge(ins map[*Block]Facts, succ *Block, out Facts, must bool) bool {
+	cur, seen := ins[succ]
+	if !seen {
+		ins[succ] = out.clone()
+		return true
+	}
+	changed := false
+	if must {
+		for k := range cur {
+			if !out[k] {
+				delete(cur, k)
+				changed = true
+			}
+		}
+	} else {
+		for k := range out {
+			if !cur[k] {
+				cur[k] = true
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// Visit replays the solved analysis over every reachable block, calling fn
+// with the facts in force immediately before each node (before that node's
+// own Transfer applies). Iteration order is deterministic: blocks by index,
+// nodes in execution order.
+func Visit(g *Graph, p Problem, ins map[*Block]Facts, fn func(n ast.Node, before Facts)) {
+	for _, blk := range g.Blocks {
+		in, reachable := ins[blk]
+		if !reachable {
+			continue
+		}
+		facts := in.clone()
+		for _, n := range blk.Nodes {
+			fn(n, facts)
+			p.Transfer(n, facts)
+		}
+	}
+}
+
+// ExitFacts returns the facts holding at the synthetic Exit block, or nil
+// when Exit is unreachable (every path panics or loops forever).
+func ExitFacts(g *Graph, ins map[*Block]Facts) Facts {
+	return ins[g.Exit]
+}

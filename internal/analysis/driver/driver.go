@@ -37,6 +37,8 @@ import (
 // code: 0 clean, 1 operational failure, 2 findings.
 func Main(analyzers []*analysis.Analyzer) int {
 	args := os.Args[1:]
+	jsonMode := false
+	kept := args[:0:0]
 	for _, a := range args {
 		switch {
 		case a == "-V=full" || a == "--V=full":
@@ -53,15 +55,23 @@ func Main(analyzers []*analysis.Analyzer) int {
 		case a == "-h" || a == "--help" || a == "-help":
 			usage(analyzers)
 			return 0
+		case a == "-json" || a == "--json":
+			// Machine-readable findings: one JSON object per line on
+			// stdout (CI turns them into GitHub annotations). Standalone
+			// mode only; the vet protocol owns the output format there.
+			jsonMode = true
+		default:
+			kept = append(kept, a)
 		}
 	}
-	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+	args = kept
+	if !jsonMode && len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		return vetMode(analyzers, args[0])
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	return standalone(analyzers, args)
+	return standalone(analyzers, args, jsonMode)
 }
 
 func usage(analyzers []*analysis.Analyzer) {
@@ -121,6 +131,10 @@ func checkPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, imp types
 		return nil, err
 	}
 	var diags []analysis.Diagnostic
+	// One Directives set is shared by every analyzer so that, after they
+	// all ran, suppressions which fired for none of them can be reported as
+	// stale instead of silently rotting.
+	dirs := analysis.ParseDirectives(fset, files)
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -129,11 +143,13 @@ func checkPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, imp types
 			Pkg:       pkg,
 			TypesInfo: info,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			Dirs:      dirs,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %v", a.Name, err)
 		}
 	}
+	diags = append(diags, dirs.Stale()...)
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags, nil
 }
@@ -142,6 +158,41 @@ func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%v: %s\n", fset.Position(d.Pos), d.Message)
 	}
+}
+
+// jsonDiag is the -json wire format: exactly one object per finding, one
+// finding per line (NDJSON). CI feeds these to jq to emit GitHub
+// annotations; the field set is part of srclint's interface.
+type jsonDiag struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Message  string `json:"message"`
+}
+
+// writeJSONDiags emits diags as NDJSON. File paths are made relative to dir
+// (the repo root in practice) when they lie under it, so annotations attach
+// to checkout-relative paths.
+func writeJSONDiags(w io.Writer, fset *token.FileSet, dir string, diags []analysis.Diagnostic) error {
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		file := posn.Filename
+		if dir != "" {
+			if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = filepath.ToSlash(rel)
+			}
+		}
+		if err := enc.Encode(jsonDiag{
+			Analyzer: d.Category,
+			File:     file,
+			Line:     posn.Line,
+			Message:  d.Message,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // exportImporter builds a types.Importer that reads gc export data through
@@ -251,12 +302,13 @@ type listPackage struct {
 	Error      *struct{ Err string }
 }
 
-func standalone(analyzers []*analysis.Analyzer, patterns []string) int {
+func standalone(analyzers []*analysis.Analyzer, patterns []string, jsonMode bool) int {
 	pkgs, err := goList(patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "srclint: %v\n", err)
 		return 1
 	}
+	cwd, _ := os.Getwd()
 	packageFile := make(map[string]string)
 	for _, p := range pkgs {
 		if p.Export != "" {
@@ -284,7 +336,14 @@ func standalone(analyzers []*analysis.Analyzer, patterns []string) int {
 			return 1
 		}
 		if len(diags) > 0 {
-			printDiags(fset, diags)
+			if jsonMode {
+				if err := writeJSONDiags(os.Stdout, fset, cwd, diags); err != nil {
+					fmt.Fprintf(os.Stderr, "srclint: %v\n", err)
+					return 1
+				}
+			} else {
+				printDiags(fset, diags)
+			}
 			exit = 2
 		}
 	}

@@ -1,0 +1,179 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"srccache/internal/analysis"
+	"srccache/internal/analysis/errpath"
+	"srccache/internal/analysis/flushepoch"
+	"srccache/internal/analysis/ioerr"
+	"srccache/internal/analysis/lockheld"
+	"srccache/internal/analysis/maprange"
+	"srccache/internal/analysis/seededrand"
+	"srccache/internal/analysis/wallclock"
+)
+
+// allAnalyzers mirrors cmd/srclint's registration list.
+var allAnalyzers = []*analysis.Analyzer{
+	wallclock.Analyzer,
+	seededrand.Analyzer,
+	maprange.Analyzer,
+	ioerr.Analyzer,
+	errpath.Analyzer,
+	lockheld.Analyzer,
+	flushepoch.Analyzer,
+}
+
+// TestJSONSchema pins the -json wire format: one object per line with
+// exactly the fields {analyzer, file, line, message}, paths relative to the
+// given root.
+func TestJSONSchema(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("/repo/internal/src/gc.go", -1, 1000)
+	f.SetLines([]int{0, 100, 200, 300})
+	pos := f.LineStart(3)
+
+	var buf bytes.Buffer
+	diags := []analysis.Diagnostic{
+		{Pos: pos, Category: "flushepoch", Message: "return without drain/flush"},
+	}
+	if err := writeJSONDiags(&buf, fset, "/repo", diags); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want 1 NDJSON line, got %d: %q", len(lines), buf.String())
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatalf("line is not valid JSON: %v", err)
+	}
+	var keys []string
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if want := []string{"analyzer", "file", "line", "message"}; strings.Join(keys, ",") != strings.Join(want, ",") {
+		t.Errorf("field set = %v, want %v", keys, want)
+	}
+	if got["analyzer"] != "flushepoch" {
+		t.Errorf("analyzer = %v", got["analyzer"])
+	}
+	if got["file"] != "internal/src/gc.go" {
+		t.Errorf("file = %v, want repo-relative internal/src/gc.go", got["file"])
+	}
+	if got["line"] != float64(3) {
+		t.Errorf("line = %v, want 3", got["line"])
+	}
+	if got["message"] != "return without drain/flush" {
+		t.Errorf("message = %v", got["message"])
+	}
+}
+
+// loadSrcPackage lists srccache/internal/src with export data and returns
+// its file list plus an importer over the dependency closure.
+func loadSrcPackage(t *testing.T) (files []string, packageFile map[string]string) {
+	t.Helper()
+	pkgs, err := goList([]string{"srccache/internal/src"})
+	if err != nil {
+		t.Fatalf("go list: %v", err)
+	}
+	packageFile = make(map[string]string)
+	for _, p := range pkgs {
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+		if p.ImportPath == "srccache/internal/src" {
+			for _, f := range p.GoFiles {
+				files = append(files, filepath.Join(p.Dir, f))
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatal("srccache/internal/src not found in go list output")
+	}
+	return files, packageFile
+}
+
+// TestSrcSelfClean asserts the real internal/src package is clean under all
+// seven analyzers (including stale-suppression detection) — the tree-wide
+// self-clean gate in miniature.
+func TestSrcSelfClean(t *testing.T) {
+	files, packageFile := loadSrcPackage(t)
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, nil, packageFile)
+	diags, err := checkPackage(allAnalyzers, fset, imp, "srccache/internal/src", "", files)
+	if err != nil {
+		t.Fatalf("checkPackage: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic: %v: [%s] %s", fset.Position(d.Pos), d.Category, d.Message)
+	}
+}
+
+// TestSeedingRemoval is the sanity check that flushepoch really guards the
+// annotated contract sites: deleting the drain call from gc's return path
+// must produce a flushepoch finding. The mutation happens on a copy in a
+// temp dir; the tree is untouched.
+func TestSeedingRemoval(t *testing.T) {
+	files, packageFile := loadSrcPackage(t)
+
+	var gcFile string
+	for _, f := range files {
+		if filepath.Base(f) == "gc.go" {
+			gcFile = f
+		}
+	}
+	if gcFile == "" {
+		t.Fatal("gc.go not in srccache/internal/src file list")
+	}
+	src, err := os.ReadFile(gcFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const drainTail = "_, err := c.drainDirty(at)\n\treturn err"
+	if !strings.Contains(string(src), drainTail) {
+		t.Fatalf("gc.go no longer contains the expected drain tail %q; update this test", drainTail)
+	}
+	mutated := strings.Replace(string(src), drainTail, "return nil", 1)
+	mutatedFile := filepath.Join(t.TempDir(), "gc.go")
+	if err := os.WriteFile(mutatedFile, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range files {
+		if f == gcFile {
+			files[i] = mutatedFile
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, nil, packageFile)
+	diags, err := checkPackage(allAnalyzers, fset, imp, "srccache/internal/src", "", files)
+	if err != nil {
+		t.Fatalf("checkPackage on mutated source: %v", err)
+	}
+	var flushDiags []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Category == "flushepoch" {
+			flushDiags = append(flushDiags, d)
+		}
+	}
+	if len(flushDiags) != 1 {
+		t.Fatalf("want exactly 1 flushepoch diagnostic after removing gc's drain, got %d (all: %v)",
+			len(flushDiags), diags)
+	}
+	posn := fset.Position(flushDiags[0].Pos)
+	if filepath.Base(posn.Filename) != "gc.go" {
+		t.Errorf("diagnostic at %v, want in gc.go", posn)
+	}
+	if !strings.Contains(flushDiags[0].Message, "gc") {
+		t.Errorf("message does not name the function: %s", flushDiags[0].Message)
+	}
+}

@@ -1,0 +1,247 @@
+// Package errpath is the CFG upgrade of ioerr: where ioerr flags errors
+// that are discarded at the call site (`_ =`, bare statement), errpath
+// follows an error that WAS bound to a variable and flags it when at least
+// one control-flow path reaches the function's exit — or overwrites the
+// variable — without ever reading it.
+//
+// The analysis is a may-analysis: each assignment
+//
+//	err := dev.Submit(...)   // dev in internal/blockdev or internal/raid
+//
+// generates an "unchecked" fact keyed by the assignment site. Any read of
+// the variable — a nil comparison, a return, wrapping with fmt.Errorf, even
+// capture by a closure — kills the fact: the error has been looked at, and
+// judging the quality of the handling is beyond a lint. An explicit blank
+// discard (`_ = err`) is not a read: it only launders the unused-variable
+// compile error. A write to the
+// variable also kills the fact (the old error is gone either way), but a
+// write with the fact still live is reported: the first error was
+// overwritten unread. Facts that survive to the function's exit on any path
+// are reported at their assignment site.
+//
+// Panic paths are exempt (the CFG gives a certain panic no successors), and
+// paths that end in the blank identifier are ioerr's business, not ours.
+package errpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"srccache/internal/analysis"
+	"srccache/internal/analysis/cfg"
+	"srccache/internal/analysis/ioerr"
+)
+
+// Analyzer implements the errpath check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errpath",
+	Doc:  "an error assigned from a blockdev/raid I/O call must be read on every path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkBody(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// site is one error-producing assignment under watch.
+type site struct {
+	assign *ast.AssignStmt
+	obj    types.Object // the error variable
+	fn     *types.Func  // the I/O method that produced it
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Pre-scan the body for gen sites so the transfer function is cheap and
+	// allocation-free on the solver's hot path.
+	sites := make(map[ast.Node]*site)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if a, ok := n.(*ast.AssignStmt); ok {
+			if s := genSite(pass, a); s != nil {
+				sites[a] = s
+			}
+		}
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	g := cfg.New(body)
+	problem := cfg.Problem{
+		Must: false,
+		Transfer: func(n ast.Node, facts cfg.Facts) {
+			reads, writes := usesIn(pass, n)
+			for k := range facts {
+				s := k.(*site)
+				if reads[s.obj] || writes[s.obj] {
+					delete(facts, k)
+				}
+			}
+			if s := sites[n]; s != nil {
+				facts[s] = true
+			}
+		},
+	}
+	ins := cfg.Solve(g, problem)
+
+	reported := make(map[*site]bool)
+	report := func(s *site) {
+		if reported[s] {
+			return
+		}
+		reported[s] = true
+		pass.Reportf(s.assign.Pos(),
+			"error from %s.%s assigned to %s is never read on at least one path; blockdev/raid I/O errors must be handled (//srclint:allow errpath to override)",
+			recvName(s.fn), s.fn.Name(), s.obj.Name())
+	}
+
+	cfg.Visit(g, problem, ins, func(n ast.Node, before cfg.Facts) {
+		if len(before) == 0 {
+			return
+		}
+		reads, writes := usesIn(pass, n)
+		// Collect overwritten-unread sites in source order for determinism.
+		var hit []*site
+		for k := range before {
+			s := k.(*site)
+			if writes[s.obj] && !reads[s.obj] {
+				hit = append(hit, s)
+			}
+		}
+		sort.Slice(hit, func(i, j int) bool { return hit[i].assign.Pos() < hit[j].assign.Pos() })
+		for _, s := range hit {
+			report(s)
+		}
+	})
+
+	var leaked []*site
+	for k := range cfg.ExitFacts(g, ins) {
+		leaked = append(leaked, k.(*site))
+	}
+	sort.Slice(leaked, func(i, j int) bool { return leaked[i].assign.Pos() < leaked[j].assign.Pos() })
+	for _, s := range leaked {
+		report(s)
+	}
+}
+
+// genSite reports whether the assignment binds the error of a contract I/O
+// call to a named variable: a single-call RHS whose trailing error lands in
+// a non-blank identifier.
+func genSite(pass *analysis.Pass, a *ast.AssignStmt) *site {
+	if len(a.Rhs) != 1 || len(a.Lhs) == 0 {
+		return nil
+	}
+	call, ok := ast.Unparen(a.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn, _ := ioerr.ContractCall(pass, call)
+	if fn == nil {
+		return nil
+	}
+	id, ok := a.Lhs[len(a.Lhs)-1].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil || !isErrorType(obj.Type()) {
+		return nil
+	}
+	return &site{assign: a, obj: obj, fn: fn}
+}
+
+// usesIn classifies every identifier occurrence inside n (including inside
+// function literals — capturing an error counts as reading it): reads are
+// rvalue uses, writes are assignment targets. An explicit blank discard
+// (`_ = err`) is neither: it silences the compiler's unused-variable check
+// without looking at the error, which is exactly the laundering shape this
+// analyzer exists to catch.
+func usesIn(pass *analysis.Pass, n ast.Node) (reads, writes map[types.Object]bool) {
+	reads = make(map[types.Object]bool)
+	writes = make(map[types.Object]bool)
+	lhs := make(map[*ast.Ident]bool)
+	discard := make(map[*ast.Ident]bool)
+	ast.Inspect(n, func(m ast.Node) bool {
+		a, ok := m.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		allBlank := len(a.Lhs) > 0
+		for _, l := range a.Lhs {
+			if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+				lhs[id] = true
+				if id.Name != "_" {
+					allBlank = false
+				}
+			} else {
+				allBlank = false
+			}
+		}
+		if allBlank && len(a.Rhs) == 1 {
+			if id, ok := ast.Unparen(a.Rhs[0]).(*ast.Ident); ok {
+				discard[id] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		if obj == nil {
+			return true
+		}
+		switch {
+		case lhs[id]:
+			writes[obj] = true
+		case discard[id]:
+			// neither a read nor a write
+		default:
+			reads[obj] = true
+		}
+		return true
+	})
+	return reads, writes
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func recvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "?"
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return fmt.Sprint(t)
+}

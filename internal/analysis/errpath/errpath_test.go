@@ -1,0 +1,12 @@
+package errpath_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/errpath"
+)
+
+func TestErrPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errpath.Analyzer, "e/use")
+}

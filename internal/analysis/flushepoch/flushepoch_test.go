@@ -1,0 +1,12 @@
+package flushepoch_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/flushepoch"
+)
+
+func TestFlushEpoch(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), flushepoch.Analyzer, "f")
+}

@@ -1,0 +1,142 @@
+// Package f exercises the flushepoch analyzer: every //srclint:contract
+// flush function must reach a drain/flush call on each path to a success
+// return.
+package f
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrNoSpace = errors.New("no space")
+
+type cache struct {
+	dirty int
+}
+
+func (c *cache) drainDirty() error { return nil }
+func (c *cache) flushAll() error   { return nil }
+func (c *cache) reuseGroup() error { return nil }
+func cond() bool                   { return false }
+
+// goodGC drains before every success return; its error returns are all
+// exempt forms (guarded local, package sentinel, constructed error).
+//
+//srclint:contract flush
+func (c *cache) goodGC() error {
+	if err := c.reuseGroup(); err != nil {
+		return err
+	}
+	if c.dirty < 0 {
+		return ErrNoSpace
+	}
+	if cond() {
+		return fmt.Errorf("gc: %d dirty", c.dirty)
+	}
+	err := c.drainDirty()
+	return err
+}
+
+// tailFlush satisfies the contract in the return expression itself.
+//
+//srclint:contract flush
+func (c *cache) tailFlush() error {
+	c.dirty = 0
+	return c.flushAll()
+}
+
+// viaHelper calls an annotated same-package helper, which composes.
+//
+//srclint:contract flush
+func (c *cache) viaHelper() error {
+	if cond() {
+		return errors.New("busy")
+	}
+	return c.tailFlush()
+}
+
+// badGC is the PR 3 bug shape: the fast path reuses a group (destroying the
+// old durable record) and returns success without draining the replacement
+// copies into the same flush epoch.
+//
+//srclint:contract flush
+func (c *cache) badGC() error {
+	if err := c.reuseGroup(); err != nil {
+		return err
+	}
+	if cond() {
+		return nil // want `return without drain/flush in //srclint:contract flush function badGC`
+	}
+	return c.drainDirty()
+}
+
+// loopDrain only drains inside a loop that may run zero times.
+//
+//srclint:contract flush
+func (c *cache) loopDrain(n int) error {
+	for i := 0; i < n; i++ {
+		if err := c.drainDirty(); err != nil {
+			return err
+		}
+	}
+	return nil // want `return without drain/flush in //srclint:contract flush function loopDrain`
+}
+
+// unguardedErr returns a local error that was never compared against nil, so
+// it may be nil — a success return without a drain.
+//
+//srclint:contract flush
+func (c *cache) unguardedErr() error {
+	err := c.reuseGroup()
+	return err // want `return without drain/flush in //srclint:contract flush function unguardedErr`
+}
+
+// allowed documents a deliberate exception: the suppression keeps the
+// finding out of the report and the directive is marked used.
+//
+//srclint:contract flush
+func (c *cache) allowed() error {
+	if cond() {
+		//srclint:allow flushepoch probe path never destroys durable records
+		return nil
+	}
+	return c.drainDirty()
+}
+
+// noResult has no error result: every path, including falling off the end,
+// must drain.
+//
+//srclint:contract flush
+func (c *cache) noResult() {
+	if cond() {
+		return // want `return without drain/flush in //srclint:contract flush function noResult`
+	}
+	c.dirty = 0
+} // want `control falls off the end of //srclint:contract flush function noResult`
+
+// noResultOK drains on both path shapes.
+//
+//srclint:contract flush
+func (c *cache) noResultOK() {
+	if cond() {
+		_ = c.drainDirty()
+		return
+	}
+	_ = c.flushAll()
+}
+
+// panicPath panics instead of returning on the odd branch; panic paths owe
+// nothing to the flush epoch.
+//
+//srclint:contract flush
+func (c *cache) panicPath() error {
+	if cond() {
+		panic("corrupt summary")
+	}
+	return c.flushAll()
+}
+
+// notAnnotated has no contract, so nothing is checked.
+func (c *cache) notAnnotated() error {
+	return nil
+}

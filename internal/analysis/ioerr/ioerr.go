@@ -62,32 +62,46 @@ func check(pass *analysis.Pass, e ast.Expr, how string) {
 	if !ok {
 		return
 	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	s := pass.TypesInfo.Selections[sel]
-	if s == nil || s.Kind() != types.MethodVal {
-		return
-	}
-	fn, ok := s.Obj().(*types.Func)
-	if !ok || !contractMethod(fn.Name()) {
-		return
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Results().Len() == 0 {
-		return
-	}
-	last := sig.Results().At(sig.Results().Len() - 1).Type()
-	if !isErrorType(last) {
-		return
-	}
-	if !definedInContractPackage(pass, fn, s.Recv()) {
+	fn, recv := ContractCall(pass, call)
+	if fn == nil {
 		return
 	}
 	pass.Reportf(call.Pos(),
 		"error from %s.%s %s; blockdev/raid I/O errors must be handled (//srclint:allow ioerr to override)",
-		recvName(s.Recv()), fn.Name(), how)
+		recvName(recv), fn.Name(), how)
+}
+
+// ContractCall reports whether call invokes an I/O-contract method — a
+// Submit/Flush/Trim/Corrupt or Read*/Write* method with a trailing error
+// result, defined in (or on a type of) internal/blockdev or internal/raid.
+// It returns the method and the receiver type, or nil when the call is
+// outside the contract. Shared with the errpath analyzer, which tracks what
+// happens to the error after it is bound to a variable.
+func ContractCall(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, types.Type) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil, nil
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || !contractMethod(fn.Name()) {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil, nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		return nil, nil
+	}
+	if !definedInContractPackage(pass, fn, s.Recv()) {
+		return nil, nil
+	}
+	return fn, s.Recv()
 }
 
 // isErrorType reports whether t is the built-in error interface.

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/lockheld"
+)
+
+func TestLockHeld(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockheld.Analyzer, "l/use")
+}

@@ -1,0 +1,7 @@
+// Package netblock is a fixture stand-in for the network block transport.
+package netblock
+
+type Conn struct{}
+
+func Dial(addr string) (*Conn, error)       { return nil, nil }
+func (c *Conn) WriteRequest(b []byte) error { return nil }

@@ -24,7 +24,12 @@ type liveEntry struct {
 	tag   blockdev.Tag
 }
 
-// gc reclaims groups until at least two are free.
+// gc reclaims groups until at least two are free. Reclaimed groups are
+// reused, overwriting their old summary blobs — the only durable record of
+// any pages S2S moved out — so every success path must drain the dirty
+// tails first, keeping destruction and replacement in one flush epoch.
+//
+//srclint:contract flush
 func (c *Cache) gc(at vtime.Time) error {
 	c.inGC = true
 	defer func() { c.inGC = false }()

@@ -63,6 +63,11 @@ func (c *Cache) rebuildForget(sg int64) {
 // insertion after a drive failure) and starts a background rebuild. The
 // caller drives the rebuild with RebuildStep, interleaved with foreground
 // traffic; reads of not-yet-rebuilt ranges are served degraded meanwhile.
+// The stamped superblock must be flushed before the member counts as
+// installed: a crash before the flush must revert to the pre-replacement
+// array, not see a half-initialized member.
+//
+//srclint:contract flush
 func (c *Cache) ReplaceSSD(at vtime.Time, col int, fresh blockdev.Device) (vtime.Time, error) {
 	if col < 0 || col >= c.lay.m {
 		return at, fmt.Errorf("src: replace of unknown ssd %d", col)
@@ -158,26 +163,35 @@ func (c *Cache) RebuildStep(at vtime.Time) (done vtime.Time, pending bool, err e
 		break
 	}
 	if len(rs.needed) == 0 {
+		// c.rebuild must be cleared before the barrier: writeSegment
+		// suppresses per-segment flushes while a rebuild is in flight.
 		c.rebuild = nil
-		// Completion barrier: flush every member before declaring the
-		// rebuild converged. The reconstructed column (and any segments GC
-		// moved while the rebuild ran) is volatile until flushed — a crash
-		// would revert the fresh device to empty and recovery would drop
-		// that column from every segment. Dirty buffers drain first: a
-		// rebuilt summary reflects the RAM view, in which pages rewritten
-		// since the last flush are holes — their replacement copies must
-		// reach the log before the barrier commits those holes.
-		t, err := c.drainDirty(done)
-		if err != nil {
-			return done, false, err
-		}
-		t, err = c.flushSSDs(vtime.Max(done, t))
-		if err != nil {
-			return done, false, err
-		}
-		return vtime.Max(done, t), false, nil
+		t, err := c.finishRebuild(done)
+		return t, false, err
 	}
 	return done, true, nil
+}
+
+// finishRebuild is the rebuild completion barrier: flush every member
+// before declaring the rebuild converged. The reconstructed column (and any
+// segments GC moved while the rebuild ran) is volatile until flushed — a
+// crash would revert the fresh device to empty and recovery would drop that
+// column from every segment. Dirty buffers drain first: a rebuilt summary
+// reflects the RAM view, in which pages rewritten since the last flush are
+// holes — their replacement copies must reach the log before the barrier
+// commits those holes.
+//
+//srclint:contract flush
+func (c *Cache) finishRebuild(done vtime.Time) (vtime.Time, error) {
+	t, err := c.drainDirty(done)
+	if err != nil {
+		return done, err
+	}
+	t, err = c.flushSSDs(vtime.Max(done, t))
+	if err != nil {
+		return done, err
+	}
+	return vtime.Max(done, t), nil
 }
 
 // rebuildSegment reconstructs one segment's column col: parity-protected

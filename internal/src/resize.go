@@ -19,7 +19,11 @@ import (
 
 // Resize re-stripes the cache onto ssds (which may be more, fewer, or
 // partially the same drives; each must match the configured per-drive cache
-// region). It returns the virtual time the migration completes.
+// region). It returns the virtual time the migration completes. The old
+// layout's metadata is trimmed away mid-migration, so no success path may
+// return before the final Flush makes the new layout durable.
+//
+//srclint:contract flush
 func (c *Cache) Resize(at vtime.Time, ssds []blockdev.Device) (vtime.Time, error) {
 	if len(ssds) < 1 {
 		return at, fmt.Errorf("src: resize needs at least one SSD")

@@ -355,7 +355,10 @@ func (c *Cache) recordSegmentContent(sg, seg, gen int64, parity int, perCol [][]
 
 // writeSuperblock fills Segment Group 0 with the instance superblock; it is
 // written once at assembly time (virtual time zero) and is read-only
-// thereafter.
+// thereafter. Each member's superblock is flushed before the next member is
+// stamped, so a crash mid-assembly leaves a prefix of recognizable members.
+//
+//srclint:contract flush
 func (c *Cache) writeSuperblock() error {
 	sb := &superblock{
 		ssds:           uint32(c.lay.m),
@@ -377,5 +380,9 @@ func (c *Cache) writeSuperblock() error {
 			return fmt.Errorf("superblock flush: %w", err)
 		}
 	}
+	// The per-member flush is inside the loop, invisible to flushepoch's
+	// must-analysis on the loop's zero-iteration path; Config.Validate
+	// guarantees at least one SSD, so the loop always runs.
+	//srclint:allow flushepoch per-member flush in loop body; Validate enforces len(SSDs) >= 1
 	return nil
 }
