@@ -108,6 +108,8 @@ const (
 
 	FlushPerSegment      = src.FlushPerSegment
 	FlushPerSegmentGroup = src.FlushPerSegmentGroup
+	FlushPerMetadata     = src.FlushPerMetadata
+	FlushNever           = src.FlushNever
 )
 
 // NewCache assembles an SRC cache from cfg.

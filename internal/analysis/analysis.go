@@ -269,6 +269,7 @@ var SimPackages = []string{
 	"internal/ssd",
 	"internal/hdd",
 	"internal/chaos",
+	"internal/torture",
 }
 
 // RandPackages extends SimPackages with the packages that generate

@@ -27,21 +27,116 @@ type Content struct {
 	shadowBlobs map[int64][]byte
 	dirty       map[int64]struct{}
 
+	// shadowCorrupt records, for each dirtied page, whether the committed
+	// copy carried a corruption mark: a crash reverts to that copy, so the
+	// mark must come back with it, while corruption struck after the dirtying
+	// write hit data that never committed and vanishes with it.
+	shadowCorrupt map[int64]bool
+
 	corrupted map[int64]struct{}
+
+	// log is the ordered sequence of volatile writes since the last flush.
+	// CrashPartial replays an arbitrary subset of it over the committed
+	// state; FlushContent (and so Crash) resets it.
+	log []writeEntry
+}
+
+// WriteKind labels one entry of the volatile write log.
+type WriteKind uint8
+
+const (
+	// WriteTagKind is a single-page tag write.
+	WriteTagKind WriteKind = iota + 1
+	// WriteBlobKind is a single-page metadata blob write.
+	WriteBlobKind
+	// WriteTrimKind is a multi-page trim.
+	WriteTrimKind
+)
+
+func (k WriteKind) String() string {
+	switch k {
+	case WriteTagKind:
+		return "tag"
+	case WriteBlobKind:
+		return "blob"
+	case WriteTrimKind:
+		return "trim"
+	}
+	return "unknown"
+}
+
+// writeEntry is one volatile write. Blob slices are the same immutable
+// backing arrays stored in the blobs map, so the log adds no copies.
+type writeEntry struct {
+	kind  WriteKind
+	page  int64
+	tag   Tag
+	blob  []byte
+	count int64 // trim page count
+}
+
+// WriteRecord describes one write-log entry for schedule construction and
+// violation reports.
+type WriteRecord struct {
+	Kind  WriteKind
+	Page  int64
+	Count int64 // pages trimmed (WriteTrimKind only)
+	Len   int   // blob length in bytes (WriteBlobKind only)
 }
 
 // NewContent creates a content store for a device with the given capacity in
 // bytes.
 func NewContent(capacity int64) *Content {
 	return &Content{
-		pages:       capacity / PageSize,
-		tags:        make(map[int64]Tag),
-		blobs:       make(map[int64][]byte),
-		shadowTags:  make(map[int64]Tag),
-		shadowBlobs: make(map[int64][]byte),
-		dirty:       make(map[int64]struct{}),
-		corrupted:   make(map[int64]struct{}),
+		pages:         capacity / PageSize,
+		tags:          make(map[int64]Tag),
+		blobs:         make(map[int64][]byte),
+		shadowTags:    make(map[int64]Tag),
+		shadowBlobs:   make(map[int64][]byte),
+		dirty:         make(map[int64]struct{}),
+		shadowCorrupt: make(map[int64]bool),
+		corrupted:     make(map[int64]struct{}),
 	}
+}
+
+// Clone returns an independent copy of the store, including its volatile
+// region and write log. Blob backing arrays are shared: they are immutable
+// (every write installs a fresh slice), so the clone is cheap and safe.
+func (c *Content) Clone() *Content {
+	cp := &Content{
+		pages:         c.pages,
+		tags:          make(map[int64]Tag, len(c.tags)),
+		blobs:         make(map[int64][]byte, len(c.blobs)),
+		shadowTags:    make(map[int64]Tag, len(c.shadowTags)),
+		shadowBlobs:   make(map[int64][]byte, len(c.shadowBlobs)),
+		dirty:         make(map[int64]struct{}, len(c.dirty)),
+		shadowCorrupt: make(map[int64]bool, len(c.shadowCorrupt)),
+		corrupted:     make(map[int64]struct{}, len(c.corrupted)),
+		log:           make([]writeEntry, len(c.log)),
+	}
+	for p, t := range c.tags {
+		cp.tags[p] = t
+	}
+	for p, b := range c.blobs {
+		cp.blobs[p] = b
+	}
+	for p, t := range c.shadowTags {
+		cp.shadowTags[p] = t
+	}
+	for p, b := range c.shadowBlobs {
+		cp.shadowBlobs[p] = b
+	}
+	for p := range c.dirty {
+		cp.dirty[p] = struct{}{}
+	}
+	for p, was := range c.shadowCorrupt {
+		cp.shadowCorrupt[p] = was
+	}
+	for p := range c.corrupted {
+		cp.corrupted[p] = struct{}{}
+	}
+	copy(cp.log, c.log)
+	return cp
 }
 
 // Pages reports the number of pages the store covers.
@@ -67,6 +162,8 @@ func (c *Content) remember(page int64) {
 	if b, ok := c.blobs[page]; ok {
 		c.shadowBlobs[page] = b
 	}
+	_, bad := c.corrupted[page]
+	c.shadowCorrupt[page] = bad
 }
 
 // WriteTag records the tag for a page (volatile until FlushContent).
@@ -75,6 +172,7 @@ func (c *Content) WriteTag(page int64, t Tag) error {
 		return err
 	}
 	c.remember(page)
+	c.log = append(c.log, writeEntry{kind: WriteTagKind, page: page, tag: t})
 	delete(c.corrupted, page)
 	if t.IsZero() {
 		delete(c.tags, page)
@@ -98,6 +196,7 @@ func (c *Content) WriteBlob(page int64, b []byte) error {
 	delete(c.corrupted, page)
 	cp := make([]byte, len(b))
 	copy(cp, b)
+	c.log = append(c.log, writeEntry{kind: WriteBlobKind, page: page, blob: cp})
 	c.blobs[page] = cp
 	delete(c.tags, page)
 	return nil
@@ -143,6 +242,7 @@ func (c *Content) Trim(page, count int64) error {
 	if count < 0 || page+count > c.pages {
 		return fmt.Errorf("%w: trim [%d,%d)", ErrOutOfRange, page, page+count)
 	}
+	c.log = append(c.log, writeEntry{kind: WriteTrimKind, page: page, count: count})
 	for p := page; p < page+count; p++ {
 		c.remember(p)
 		delete(c.tags, p)
@@ -153,17 +253,21 @@ func (c *Content) Trim(page, count int64) error {
 }
 
 // FlushContent commits all volatile writes; after it returns, Crash no
-// longer reverts them.
+// longer reverts them and the write log starts over.
 func (c *Content) FlushContent() {
 	clear(c.dirty)
 	clear(c.shadowTags)
 	clear(c.shadowBlobs)
+	clear(c.shadowCorrupt)
+	c.log = c.log[:0]
 }
 
 // Crash discards all volatile writes, reverting dirtied pages to their last
-// committed contents. It models power failure with a volatile write cache.
-// Pages revert in ascending order so the walk is reproducible under a
-// debugger even though the reverts commute.
+// committed contents (corruption marks included: a mark on the committed
+// copy returns with it, one acquired after dirtying vanishes). It models
+// power failure with a volatile write cache. Pages revert in ascending order
+// so the walk is reproducible under a debugger even though the reverts
+// commute.
 func (c *Content) Crash() {
 	pages := make([]int64, 0, len(c.dirty))
 	for page := range c.dirty {
@@ -181,8 +285,86 @@ func (c *Content) Crash() {
 		} else {
 			delete(c.blobs, page)
 		}
+		if c.shadowCorrupt[page] {
+			c.corrupted[page] = struct{}{}
+		} else {
+			delete(c.corrupted, page)
+		}
 	}
 	c.FlushContent()
+}
+
+// WriteLogLen reports the number of volatile writes since the last flush.
+func (c *Content) WriteLogLen() int { return len(c.log) }
+
+// WriteLog describes the volatile write log, oldest first, for schedule
+// construction and violation reports.
+func (c *Content) WriteLog() []WriteRecord {
+	recs := make([]WriteRecord, len(c.log))
+	for i, e := range c.log {
+		recs[i] = WriteRecord{Kind: e.kind, Page: e.page, Count: e.count, Len: len(e.blob)}
+	}
+	return recs
+}
+
+// CrashPartial models a power failure in which only a subset of the volatile
+// write log reached media: it reverts to the committed state, then replays
+// the scheduled entries in log order and commits the result. A torn blob
+// write persists only its first k bytes, with the rest of the page still
+// holding whatever the committed copy had there — the partially-programmed
+// summary page whose CRC the recovery scan must catch. Crash is equivalent
+// to CrashPartial of the empty schedule.
+func (c *Content) CrashPartial(s CrashSchedule) error {
+	if err := s.validate(len(c.log)); err != nil {
+		return err
+	}
+	kept := make([]writeEntry, 0, len(c.log))
+	for i, e := range c.log {
+		if !s.Keep[i] {
+			continue
+		}
+		if k, torn := s.Torn[i]; torn {
+			if e.kind != WriteBlobKind {
+				return fmt.Errorf("%w: torn write %d is %s, not a blob", ErrBadRequest, i, e.kind)
+			}
+			if k < 0 || k >= len(e.blob) {
+				return fmt.Errorf("%w: torn write %d at byte %d of %d", ErrBadRequest, i, k, len(e.blob))
+			}
+			e.blob = e.blob[:k]
+		}
+		kept = append(kept, e)
+	}
+	c.Crash()
+	for _, e := range kept {
+		var err error
+		switch e.kind {
+		case WriteTagKind:
+			err = c.WriteTag(e.page, e.tag)
+		case WriteBlobKind:
+			err = c.writeTornBlob(e.page, e.blob)
+		case WriteTrimKind:
+			err = c.Trim(e.page, e.count)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	c.FlushContent()
+	return nil
+}
+
+// writeTornBlob persists prefix over the committed blob at page, keeping the
+// committed bytes beyond len(prefix) if the old blob was longer. For untorn
+// entries prefix is the full blob and this is a plain WriteBlob.
+func (c *Content) writeTornBlob(page int64, prefix []byte) error {
+	old := c.blobs[page]
+	if len(old) <= len(prefix) {
+		return c.WriteBlob(page, prefix)
+	}
+	merged := make([]byte, len(old))
+	copy(merged, prefix)
+	copy(merged[len(prefix):], old[len(prefix):])
+	return c.WriteBlob(page, merged)
 }
 
 // Corrupt marks a page as silently corrupted: subsequent reads return

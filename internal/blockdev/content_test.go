@@ -1,0 +1,309 @@
+package blockdev
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func newTestContent(t *testing.T) *Content {
+	t.Helper()
+	return NewContent(64 * PageSize)
+}
+
+func writeTag(t *testing.T, c *Content, page int64, tag Tag) {
+	t.Helper()
+	if err := c.WriteTag(page, tag); err != nil {
+		t.Fatalf("WriteTag(%d): %v", page, err)
+	}
+}
+
+func writeBlob(t *testing.T, c *Content, page int64, b []byte) {
+	t.Helper()
+	if err := c.WriteBlob(page, b); err != nil {
+		t.Fatalf("WriteBlob(%d): %v", page, err)
+	}
+}
+
+func readTag(t *testing.T, c *Content, page int64) Tag {
+	t.Helper()
+	tag, err := c.ReadTag(page)
+	if err != nil {
+		t.Fatalf("ReadTag(%d): %v", page, err)
+	}
+	return tag
+}
+
+func readBlob(t *testing.T, c *Content, page int64) []byte {
+	t.Helper()
+	b, err := c.ReadBlob(page)
+	if err != nil {
+		t.Fatalf("ReadBlob(%d): %v", page, err)
+	}
+	return b
+}
+
+// TestCrashPartialPrefix checks that prefix schedules persist exactly the
+// first k writes, in order, and that the drop-all and keep-all extremes
+// match Crash() and FlushContent() respectively.
+func TestCrashPartialPrefix(t *testing.T) {
+	mk := func() *Content {
+		c := newTestContent(t)
+		writeTag(t, c, 0, Tag{Hi: 9, Lo: 9})
+		c.FlushContent()
+		// Volatile window: tag 1, tag 2, blob 3, trim of [0,2).
+		writeTag(t, c, 1, Tag{Hi: 1, Lo: 1})
+		writeTag(t, c, 2, Tag{Hi: 2, Lo: 2})
+		writeBlob(t, c, 3, []byte("summary-blob"))
+		if err := c.Trim(0, 2); err != nil {
+			t.Fatalf("Trim: %v", err)
+		}
+		return c
+	}
+
+	c := mk()
+	if got := c.WriteLogLen(); got != 4 {
+		t.Fatalf("WriteLogLen = %d, want 4", got)
+	}
+
+	// Drop-all equals Crash.
+	if err := c.CrashPartial(DropAllSchedule(4)); err != nil {
+		t.Fatalf("CrashPartial(drop-all): %v", err)
+	}
+	if got := readTag(t, c, 0); got != (Tag{Hi: 9, Lo: 9}) {
+		t.Fatalf("page 0 after drop-all = %v, want committed tag", got)
+	}
+	if got := readTag(t, c, 1); !got.IsZero() {
+		t.Fatalf("page 1 after drop-all = %v, want zero", got)
+	}
+	if readBlob(t, c, 3) != nil {
+		t.Fatal("page 3 blob survived drop-all crash")
+	}
+
+	// Keep-all equals a completed flush: trim wins over page 0's old tag.
+	c = mk()
+	if err := c.CrashPartial(KeepAllSchedule(4)); err != nil {
+		t.Fatalf("CrashPartial(keep-all): %v", err)
+	}
+	if got := readTag(t, c, 0); !got.IsZero() {
+		t.Fatalf("page 0 after keep-all = %v, want trimmed", got)
+	}
+	if got := readTag(t, c, 2); got != (Tag{Hi: 2, Lo: 2}) {
+		t.Fatalf("page 2 after keep-all = %v", got)
+	}
+	if got := readBlob(t, c, 3); !bytes.Equal(got, []byte("summary-blob")) {
+		t.Fatalf("page 3 blob after keep-all = %q", got)
+	}
+	if c.WriteLogLen() != 0 || c.DirtyPages() != 0 {
+		t.Fatal("CrashPartial must leave the store committed with an empty log")
+	}
+
+	// Prefix of 3: the trim never happened, page 0 keeps its committed tag.
+	c = mk()
+	if err := c.CrashPartial(PrefixSchedule(4, 3)); err != nil {
+		t.Fatalf("CrashPartial(prefix 3): %v", err)
+	}
+	if got := readTag(t, c, 0); got != (Tag{Hi: 9, Lo: 9}) {
+		t.Fatalf("page 0 after prefix-3 = %v, want committed tag", got)
+	}
+	if got := readTag(t, c, 1); got != (Tag{Hi: 1, Lo: 1}) {
+		t.Fatalf("page 1 after prefix-3 = %v", got)
+	}
+	if got := readBlob(t, c, 3); !bytes.Equal(got, []byte("summary-blob")) {
+		t.Fatalf("page 3 blob after prefix-3 = %q", got)
+	}
+}
+
+// TestCrashPartialOmitOne drops a single mid-log write while later writes
+// persist — the reorder-tier hazard a pure prefix model cannot express.
+func TestCrashPartialOmitOne(t *testing.T) {
+	c := newTestContent(t)
+	writeTag(t, c, 1, Tag{Hi: 1, Lo: 1})
+	writeTag(t, c, 2, Tag{Hi: 2, Lo: 2})
+	writeTag(t, c, 3, Tag{Hi: 3, Lo: 3})
+	if err := c.CrashPartial(OmitOneSchedule(3, 1)); err != nil {
+		t.Fatalf("CrashPartial: %v", err)
+	}
+	if got := readTag(t, c, 1); got != (Tag{Hi: 1, Lo: 1}) {
+		t.Fatalf("page 1 = %v, want kept", got)
+	}
+	if got := readTag(t, c, 2); !got.IsZero() {
+		t.Fatalf("page 2 = %v, want omitted", got)
+	}
+	if got := readTag(t, c, 3); got != (Tag{Hi: 3, Lo: 3}) {
+		t.Fatalf("page 3 = %v, want kept", got)
+	}
+}
+
+// TestCrashPartialTornBlob persists a blob only through byte k-1: the tail
+// keeps the committed copy's bytes, or is absent when the page held none.
+func TestCrashPartialTornBlob(t *testing.T) {
+	c := newTestContent(t)
+	writeBlob(t, c, 5, []byte("OLD-OLD-OLD"))
+	c.FlushContent()
+	writeBlob(t, c, 5, []byte("new-new-new-long"))
+	writeBlob(t, c, 6, []byte("fresh"))
+
+	s := KeepAllSchedule(2).Tear(0, 4).Tear(1, 2)
+	if err := c.CrashPartial(s); err != nil {
+		t.Fatalf("CrashPartial: %v", err)
+	}
+	// Page 5: first 4 new bytes, then the committed copy's bytes 4..11; the
+	// new write's bytes beyond the old length never reached media.
+	if got := readBlob(t, c, 5); !bytes.Equal(got, []byte("new-OLD-OLD")) {
+		t.Fatalf("torn blob over old = %q, want %q", got, "new-OLD-OLD")
+	}
+	// Page 6 had no committed blob: only the torn prefix exists.
+	if got := readBlob(t, c, 6); !bytes.Equal(got, []byte("fr")) {
+		t.Fatalf("torn blob over empty = %q, want %q", got, "fr")
+	}
+}
+
+// TestCrashPartialSameSeedSameState pins determinism: two identical stores
+// crashed with schedules drawn from equal seeds end up identical.
+func TestCrashPartialSameSeedSameState(t *testing.T) {
+	build := func() *Content {
+		c := newTestContent(t)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 40; i++ {
+			page := int64(rng.Intn(60))
+			switch rng.Intn(3) {
+			case 0:
+				writeTag(t, c, page, Tag{Hi: uint64(i), Lo: rng.Uint64()})
+			case 1:
+				b := make([]byte, 8+rng.Intn(24))
+				rng.Read(b)
+				writeBlob(t, c, page, b)
+			case 2:
+				if err := c.Trim(page, int64(1+rng.Intn(3))); err != nil {
+					t.Fatalf("Trim: %v", err)
+				}
+			}
+		}
+		return c
+	}
+	crash := func(c *Content) {
+		s := SubsetSchedule(c.WriteLogLen(), rand.New(rand.NewSource(11)), 0.5)
+		if err := c.CrashPartial(s); err != nil {
+			t.Fatalf("CrashPartial: %v", err)
+		}
+	}
+	a, b := build(), build()
+	crash(a)
+	crash(b)
+	for p := int64(0); p < a.Pages(); p++ {
+		ta, tb := readTag(t, a, p), readTag(t, b, p)
+		if ta != tb {
+			t.Fatalf("page %d: tags diverge (%v vs %v)", p, ta, tb)
+		}
+		if !bytes.Equal(readBlob(t, a, p), readBlob(t, b, p)) {
+			t.Fatalf("page %d: blobs diverge", p)
+		}
+	}
+}
+
+// TestCloneIndependence checks a Clone neither sees nor causes subsequent
+// mutation of the original, volatile log included.
+func TestCloneIndependence(t *testing.T) {
+	c := newTestContent(t)
+	writeTag(t, c, 1, Tag{Hi: 1, Lo: 1})
+	writeBlob(t, c, 2, []byte("blob"))
+	cp := c.Clone()
+
+	writeTag(t, c, 1, Tag{Hi: 99, Lo: 99})
+	writeTag(t, c, 4, Tag{Hi: 4, Lo: 4})
+	if got := readTag(t, cp, 1); got != (Tag{Hi: 1, Lo: 1}) {
+		t.Fatalf("clone page 1 = %v after original mutated", got)
+	}
+	if cp.WriteLogLen() != 2 {
+		t.Fatalf("clone log len = %d, want 2", cp.WriteLogLen())
+	}
+	// Crash the clone: it reverts its own volatile writes only.
+	cp.Crash()
+	if got := readTag(t, cp, 1); !got.IsZero() {
+		t.Fatalf("clone page 1 after crash = %v, want zero", got)
+	}
+	if got := readTag(t, c, 1); got != (Tag{Hi: 99, Lo: 99}) {
+		t.Fatalf("original page 1 = %v after clone crash", got)
+	}
+}
+
+// TestCorruptCrashInteraction pins the satellite contract: a crash restores
+// the corruption mark if and only if the corruption struck the committed
+// copy the crash reverts to. Corruption of data that never committed
+// vanishes with it.
+func TestCorruptCrashInteraction(t *testing.T) {
+	// Corrupt before dirtying: the committed copy is the corrupted one, so
+	// crash brings the mark back even though the overwrite cleared it.
+	c := newTestContent(t)
+	writeTag(t, c, 3, Tag{Hi: 3, Lo: 3})
+	c.FlushContent()
+	if err := c.Corrupt(3); err != nil {
+		t.Fatalf("Corrupt: %v", err)
+	}
+	writeTag(t, c, 3, Tag{Hi: 30, Lo: 30}) // clears the mark, volatile
+	if got := readTag(t, c, 3); got != (Tag{Hi: 30, Lo: 30}) {
+		t.Fatalf("overwrite did not clear corruption: %v", got)
+	}
+	c.Crash()
+	want := Tag{Hi: 3, Lo: 3}
+	want.Lo ^= 0xdeadbeef
+	want.Hi ^= 1
+	if got := readTag(t, c, 3); got != want {
+		t.Fatalf("crash lost the committed copy's corruption mark: got %v, want perturbed %v", got, want)
+	}
+
+	// Corrupt after dirtying: the corruption hit data that never committed,
+	// so crash reverts to the clean committed copy, mark cleared.
+	c = newTestContent(t)
+	writeTag(t, c, 3, Tag{Hi: 3, Lo: 3})
+	c.FlushContent()
+	writeTag(t, c, 3, Tag{Hi: 30, Lo: 30})
+	if err := c.Corrupt(3); err != nil {
+		t.Fatalf("Corrupt: %v", err)
+	}
+	c.Crash()
+	if got := readTag(t, c, 3); got != (Tag{Hi: 3, Lo: 3}) {
+		t.Fatalf("crash kept a corruption mark for never-committed data: %v", got)
+	}
+
+	// A write persisted by a partial crash is fresh media data: the mark
+	// from the committed copy does not survive onto it.
+	c = newTestContent(t)
+	writeTag(t, c, 3, Tag{Hi: 3, Lo: 3})
+	c.FlushContent()
+	if err := c.Corrupt(3); err != nil {
+		t.Fatalf("Corrupt: %v", err)
+	}
+	writeTag(t, c, 3, Tag{Hi: 30, Lo: 30})
+	if err := c.CrashPartial(KeepAllSchedule(1)); err != nil {
+		t.Fatalf("CrashPartial: %v", err)
+	}
+	if got := readTag(t, c, 3); got != (Tag{Hi: 30, Lo: 30}) {
+		t.Fatalf("persisted overwrite should read clean, got %v", got)
+	}
+}
+
+// TestCrashScheduleValidate rejects schedules that disagree with the log.
+func TestCrashScheduleValidate(t *testing.T) {
+	c := newTestContent(t)
+	writeTag(t, c, 1, Tag{Hi: 1, Lo: 1})
+	writeBlob(t, c, 2, []byte("blob"))
+	if err := c.CrashPartial(DropAllSchedule(5)); err == nil {
+		t.Fatal("length-mismatched schedule accepted")
+	}
+	if err := c.CrashPartial(KeepAllSchedule(2).Tear(0, 1)); err == nil {
+		t.Fatal("torn tag write accepted")
+	}
+	c = newTestContent(t)
+	writeBlob(t, c, 2, []byte("blob"))
+	if err := c.CrashPartial(KeepAllSchedule(1).Tear(0, 9)); err == nil {
+		t.Fatal("torn point beyond blob accepted")
+	}
+	c = newTestContent(t)
+	writeBlob(t, c, 2, []byte("blob"))
+	s := DropAllSchedule(1).Tear(0, 1)
+	if err := c.CrashPartial(s); err == nil {
+		t.Fatal("torn mark on dropped write accepted")
+	}
+}

@@ -27,6 +27,17 @@ func NewMemDevice(capacity int64, latency vtime.Duration) *MemDevice {
 	}
 }
 
+// NewMemDeviceWithContent creates a MemDevice backed by an existing content
+// store — typically a crashed Clone of a live device, handed to a fresh
+// cache for a recovery trial.
+func NewMemDeviceWithContent(content *Content, latency vtime.Duration) *MemDevice {
+	return &MemDevice{
+		capacity: content.Pages() * PageSize,
+		latency:  latency,
+		content:  content,
+	}
+}
+
 // Submit serves the request after any earlier work completes.
 func (d *MemDevice) Submit(at vtime.Time, req Request) (vtime.Time, error) {
 	if err := req.Validate(d.capacity); err != nil {

@@ -303,10 +303,30 @@ func (h *harness) doInject() error {
 func (h *harness) doCrash() error {
 	// Primary storage is durable by fiat (it is redundant, battery-backed
 	// HDD RAID in the paper's setting); the SSDs lose their volatile write
-	// caches.
+	// caches. Each SSD independently persists either nothing or a FIFO
+	// prefix of its volatile write log — the skew a set of independent
+	// drive caches produces — and a prefix ending in a blob write may tear
+	// it mid-page, leaving the partially-programmed summary recovery's CRC
+	// must reject. All of these are barrier-legal states, so the
+	// durability checks below apply unchanged.
 	h.prim.Content().FlushContent()
 	for _, p := range h.ssds {
-		p.Content().Crash()
+		c := p.Content()
+		n := c.WriteLogLen()
+		if pick := h.rng.Float64(); pick < 0.5 || n == 0 {
+			c.Crash()
+			continue
+		}
+		cut := h.rng.Intn(n + 1)
+		s := blockdev.PrefixSchedule(n, cut)
+		if cut > 0 {
+			if rec := c.WriteLog()[cut-1]; rec.Kind == blockdev.WriteBlobKind && rec.Len >= 2 {
+				s = s.Tear(cut-1, 1+h.rng.Intn(rec.Len-1))
+			}
+		}
+		if err := c.CrashPartial(s); err != nil {
+			return fmt.Errorf("partial crash: %w", err)
+		}
 	}
 	if _, err := h.cache.Recover(); err != nil {
 		return fmt.Errorf("recover: %w", err)

@@ -2,11 +2,50 @@ package netblock
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
+
+// ClientOptions tune the client's failure behavior. The zero value keeps
+// the original semantics: block forever on a dead peer, fail on the first
+// error.
+type ClientOptions struct {
+	// DialTimeout bounds the TCP connect (0 = no bound).
+	DialTimeout time.Duration
+	// Timeout bounds each request round trip: the request write and the
+	// response read each get this deadline (0 = no bound). Applied only to
+	// connections that expose deadlines (net.Conn, net.Pipe).
+	Timeout time.Duration
+	// RetryLimit is how many times a transient failure — a timeout, a
+	// dropped connection — is retried after reconnecting. Remote errors
+	// (the server answered) are never retried. Dial-created clients
+	// reconnect between attempts; wrapped connections (NewClient) cannot,
+	// so their ops fail on the first transport error regardless.
+	RetryLimit int
+	// RetryDelay is the backoff base: attempt i sleeps RetryDelay<<i plus
+	// seeded jitter. Defaults to 10ms when RetryLimit is set.
+	RetryDelay time.Duration
+	// Seed makes the retry jitter deterministic for tests.
+	Seed int64
+	// Sleep replaces time.Sleep for the backoff, keeping tests
+	// wallclock-free. Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.RetryLimit > 0 && o.RetryDelay <= 0 {
+		o.RetryDelay = 10 * time.Millisecond
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	return o
+}
 
 // Client is a synchronous remote block device over one connection. Methods
 // are safe for concurrent use (requests serialize on the connection).
@@ -14,21 +53,54 @@ type Client struct {
 	mu   sync.Mutex
 	conn io.ReadWriteCloser
 	size int64
+	opts ClientOptions
+	addr string // non-empty when the client can reconnect
+	rng  *rand.Rand
 }
 
 // Dial connects to a server and fetches the volume size.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+	return DialOptions(addr, ClientOptions{})
+}
+
+// DialOptions is Dial with explicit timeout and retry behavior. The
+// initial connect (and its size handshake) participates in the retry
+// budget like any other operation.
+func DialOptions(addr string, o ClientOptions) (*Client, error) {
+	c := &Client{opts: o.withDefaults(), addr: addr}
+	c.rng = rand.New(rand.NewSource(c.opts.Seed))
+	for attempt := 0; ; attempt++ {
+		conn, err := c.dial()
+		if err == nil {
+			c.conn = conn
+			payload, herr := c.attempt(opSize, 0, 0, nil)
+			if herr == nil {
+				if len(payload) != 8 {
+					conn.Close()
+					return nil, fmt.Errorf("%w: size payload %d bytes", ErrProtocol, len(payload))
+				}
+				c.size = int64(binary.BigEndian.Uint64(payload))
+				return c, nil
+			}
+			conn.Close()
+			c.conn = nil
+			err = herr
+			if !transient(err) {
+				return nil, err
+			}
+		}
+		if attempt >= c.opts.RetryLimit {
+			return nil, err
+		}
+		c.backoff(attempt)
 	}
-	return NewClient(conn)
 }
 
 // NewClient wraps an established connection (e.g. one side of net.Pipe).
 func NewClient(conn io.ReadWriteCloser) (*Client, error) {
-	c := &Client{conn: conn}
-	payload, err := c.roundTrip(opSize, 0, 0, nil)
+	c := &Client{conn: conn, opts: ClientOptions{}.withDefaults()}
+	c.rng = rand.New(rand.NewSource(0))
+	payload, err := c.attempt(opSize, 0, 0, nil)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -47,11 +119,69 @@ func (c *Client) Size() int64 { return c.size }
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+func (c *Client) dial() (net.Conn, error) {
+	if c.opts.DialTimeout > 0 {
+		return net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	}
+	return net.Dial("tcp", c.addr)
+}
+
+// transient reports whether an error is worth a reconnect-and-retry: any
+// transport-level failure qualifies; a remote error means the server
+// received and answered the request, so retrying would repeat the refusal.
+func transient(err error) bool {
+	return err != nil && !errors.Is(err, ErrRemote)
+}
+
+// backoff sleeps RetryDelay<<attempt plus up to 50% seeded jitter.
+func (c *Client) backoff(attempt int) {
+	d := c.opts.RetryDelay << attempt
+	if d <= 0 {
+		return
+	}
+	d += time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.opts.Sleep(d)
+}
+
+// roundTrip performs one operation, reconnecting and retrying transient
+// transport failures up to RetryLimit times. All protocol operations are
+// idempotent (same bytes at the same offset; barrier; size), so retrying
+// after an ambiguous failure is safe.
 func (c *Client) roundTrip(op uint8, off uint64, length uint32, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		resp, err := c.attempt(op, off, length, payload)
+		if err == nil {
+			return resp, nil
+		}
+		if !transient(err) || c.addr == "" || attempt >= c.opts.RetryLimit {
+			return nil, err
+		}
+		c.backoff(attempt)
+		conn, derr := c.dial()
+		if derr != nil {
+			return nil, fmt.Errorf("reconnect after %v: %w", err, derr)
+		}
+		c.conn.Close()
+		c.conn = conn
+	}
+}
+
+// attempt sends one request and reads its response on the current
+// connection, applying the per-request deadlines when the transport
+// supports them. Callers hold c.mu (or have exclusive access during
+// setup).
+func (c *Client) attempt(op uint8, off uint64, length uint32, payload []byte) ([]byte, error) {
+	dc, _ := c.conn.(deadliner)
+	if dc != nil && c.opts.Timeout > 0 {
+		_ = dc.SetWriteDeadline(time.Now().Add(c.opts.Timeout))
+	}
 	if err := writeRequest(c.conn, op, off, length, payload); err != nil {
 		return nil, err
+	}
+	if dc != nil && c.opts.Timeout > 0 {
+		_ = dc.SetReadDeadline(time.Now().Add(c.opts.Timeout))
 	}
 	status, resp, err := readResponse(c.conn)
 	if err != nil {

@@ -1,0 +1,198 @@
+package netblock
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// silentListener accepts connections and never answers, simulating a hung
+// peer.
+func silentListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	return ln
+}
+
+func TestClientTimeoutOnSilentPeer(t *testing.T) {
+	ln := silentListener(t)
+	start := time.Now()
+	_, err := DialOptions(ln.Addr().String(), ClientOptions{
+		DialTimeout: time.Second,
+		Timeout:     50 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("handshake against a silent peer succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("err = %v, want a timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timed out only after %v", elapsed)
+	}
+}
+
+func TestClientRequestTimeout(t *testing.T) {
+	// A served handshake followed by silence: the per-request deadline must
+	// unblock the read instead of hanging forever.
+	srv, err := NewServer(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := DialOptions(addr.String(), ClientOptions{Timeout: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	srv.Close() // server gone; the next request gets no response
+	_, err = cli.ReadAt(make([]byte, 1), 0)
+	if err == nil {
+		t.Fatal("request against a dead server succeeded")
+	}
+}
+
+func TestClientReconnectsAfterDrop(t *testing.T) {
+	srv, err := NewServer(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var slept []time.Duration
+	cli, err := DialOptions(addr.String(), ClientOptions{
+		RetryLimit: 2,
+		RetryDelay: time.Millisecond,
+		Sleep:      func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, err := cli.WriteAt([]byte("persist"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the connection out from under the client: the next request hits
+	// a transport error, reconnects, and retries transparently.
+	cli.conn.Close()
+	got := make([]byte, 7)
+	if _, err := cli.ReadAt(got, 0); err != nil {
+		t.Fatalf("read after drop: %v", err)
+	}
+	if string(got) != "persist" {
+		t.Fatalf("read %q after reconnect", got)
+	}
+	if len(slept) == 0 {
+		t.Fatal("retry path did not back off")
+	}
+}
+
+func TestClientNoRetryWithoutLimit(t *testing.T) {
+	srv, cli := startPair(t, 4096)
+	defer srv.Close()
+	cli.conn.Close()
+	if _, err := cli.ReadAt(make([]byte, 1), 0); err == nil {
+		t.Fatal("read on a closed connection succeeded with RetryLimit 0")
+	}
+}
+
+func TestWrappedClientFailsFast(t *testing.T) {
+	// NewClient has no address to redial, so even with a retry budget a
+	// transport error surfaces immediately.
+	srv, err := NewServer(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	go func() { _ = srv.ServeConn(a) }()
+	cli, err := NewClient(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.opts.RetryLimit = 3
+	cli.opts.Sleep = func(time.Duration) { t.Error("wrapped client slept for a retry") }
+	cli.conn.Close()
+	if _, err := cli.ReadAt(make([]byte, 1), 0); err == nil {
+		t.Fatal("read on a closed pipe succeeded")
+	}
+}
+
+func TestDialRetryExhaustionDeterministic(t *testing.T) {
+	// A freed port: every dial is refused, so the retry budget is consumed
+	// entirely by backoff sleeps. Same seed, same schedule; a different
+	// seed jitters differently.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	schedule := func(seed int64) []time.Duration {
+		var slept []time.Duration
+		_, err := DialOptions(addr, ClientOptions{
+			DialTimeout: time.Second,
+			RetryLimit:  4,
+			RetryDelay:  time.Millisecond,
+			Seed:        seed,
+			Sleep:       func(d time.Duration) { slept = append(slept, d) },
+		})
+		if err == nil {
+			t.Fatal("dial of a closed port succeeded")
+		}
+		return slept
+	}
+	a, b, c := schedule(1), schedule(1), schedule(2)
+	if len(a) != 4 {
+		t.Fatalf("%d backoffs for RetryLimit 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+		if a[i] < time.Millisecond<<i {
+			t.Fatalf("backoff %d = %v below base %v", i, a[i], time.Millisecond<<i)
+		}
+	}
+	same := len(a) == len(c)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == c[i]
+	}
+	if same {
+		t.Fatalf("different seeds produced identical jitter: %v", a)
+	}
+}
+
+func TestRemoteErrorNotTransient(t *testing.T) {
+	if transient(ErrRemote) {
+		t.Fatal("remote errors must not be retried")
+	}
+	if !transient(errors.New("connection reset")) {
+		t.Fatal("transport errors must be retryable")
+	}
+	if transient(nil) {
+		t.Fatal("nil error classified transient")
+	}
+}

@@ -124,29 +124,46 @@ func (c *Cache) RebuildSSD(at vtime.Time, col int) (vtime.Time, error) {
 }
 
 // rebuildColumnContent restores the tags and summary blobs of one rebuilt
-// column from the survivors.
+// column from the survivors. Reconstructed pages are verified against the
+// mapping before being trusted: resurrecting the XOR of a stale stripe
+// would serve garbage under a valid summary. (Recovery repairs the parity
+// of every recovered segment, so stripes skewed by a partial-persistence
+// crash normally verify again by the time a rebuild runs.) A page that
+// still fails verification falls back to primary storage when the mapping
+// holds it clean; otherwise it is dropped — and a dirty drop, possible
+// only under compound faults, is counted in RepairStats.RebuildDirtyLost
+// as detected loss. When no other column holds the segment's summary
+// (the failed column had the only surviving copy), survivingGeneration
+// falls back to the in-memory per-segment generation so the fresh MS/ME
+// preserves the newest on-media records instead of sentineling them away.
 func (c *Cache) rebuildColumnContent(sg, seg int64, col int) error {
 	cont := c.cfg.SSDs[col].Content()
 	colBase := c.lay.colOffset(c.cfg, sg, seg)
 	basePage := colBase / blockdev.PageSize
 	g := &c.groups[sg]
+	gen, genErr := c.survivingGeneration(sg, seg, col)
 	var entries []summaryEntry
 	live := 0
 	for pic := int64(1); pic <= c.lay.payloadPages; pic++ {
 		loc := c.lay.loc(sg, seg, col, pic)
-		tag, err := c.ReconstructTag(loc)
-		if err != nil {
-			return err
-		}
-		if err := cont.WriteTag(basePage+pic, tag); err != nil {
-			return err
-		}
 		// Entries are positional (entry i ↔ payload page i+1), so a freed
 		// slot must be held with a sentinel, not skipped: compacting the
 		// list would shift every later page onto the wrong slot at the
 		// next recovery.
 		s := c.lay.localSlot(loc)
 		if g.slots[s] == slotFree {
+			// Free slots still need their tag restored: on a parity column
+			// every slot is free, and the XOR identity over the survivors is
+			// exactly the parity tag (for a free data position it yields
+			// zero). Skipping them would leave a rebuilt parity column
+			// all-zero and poison every later reconstruction through it.
+			if genErr == nil {
+				if tag, err := c.ReconstructTag(loc); err == nil {
+					if werr := cont.WriteTag(basePage+pic, tag); werr != nil {
+						return werr
+					}
+				}
+			}
 			entries = append(entries, summaryEntry{lba: summaryFreeLBA})
 			continue
 		}
@@ -155,18 +172,49 @@ func (c *Cache) rebuildColumnContent(sg, seg int64, col int) error {
 		if c.versions != nil {
 			version = c.versions[lba]
 		}
+		tag, err := c.ReconstructTag(loc)
+		verified := genErr == nil && err == nil &&
+			(version == 0 || tag == blockdev.DataTag(lba, version))
+		if !verified {
+			// Clean pages have a second source: primary storage holds the
+			// same version, so restore from there instead of dropping.
+			// Writing a free-slot sentinel here would destroy the newest
+			// on-media record of the LBA while stale older records may
+			// survive in not-yet-reclaimed groups — the next recovery would
+			// resurrect one of those (the destruction-ordering rule gc
+			// enforces for reclaims applies to rebuilds too).
+			if e, ok := c.mapping[lba]; ok && e.loc == loc && e.state == stateSSDClean && genErr == nil {
+				pt, perr := c.cfg.Primary.Content().ReadTag(lba)
+				if perr == nil {
+					if werr := cont.WriteTag(basePage+pic, pt); werr != nil {
+						return werr
+					}
+					entries = append(entries, summaryEntry{lba: lba, version: version, dirty: false})
+					continue
+				}
+			}
+			if e, ok := c.mapping[lba]; ok && e.loc == loc {
+				c.dropPage(lba, e)
+			} else {
+				c.invalidateSSD(loc)
+			}
+			if dirty {
+				c.repair.RebuildDirtyLost++
+			}
+			entries = append(entries, summaryEntry{lba: summaryFreeLBA})
+			continue
+		}
+		if err := cont.WriteTag(basePage+pic, tag); err != nil {
+			return err
+		}
 		entries = append(entries, summaryEntry{lba: lba, version: version, dirty: dirty})
 		live++
 	}
 	// Rebuild the summary blobs from a surviving column's generation.
-	gen, err := c.survivingGeneration(sg, seg, col)
-	if err != nil {
-		if live == 0 {
-			// Nothing to record: an abandoned or fully invalidated segment
-			// may never have written a summary on any column.
-			return nil
-		}
-		return err
+	if genErr != nil {
+		// Nothing recorded: an abandoned, fully invalidated, or
+		// unreconstructable segment writes no summary on the new member.
+		return nil
 	}
 	sum := &summary{
 		kind: kindMS, gen: gen, sg: sg, seg: seg,
@@ -196,6 +244,15 @@ func (c *Cache) survivingGeneration(sg, seg int64, failedCol int) (int64, error)
 			continue
 		}
 		return s.gen, nil
+	}
+	// No other column holds a summary — the failed column had the only
+	// surviving copy (the others' were lost to a partial-persistence
+	// crash). The in-memory cache still vouches for the segment; fall back
+	// to the generation it was sealed or recovered with, so the rebuilt
+	// column's fresh MS/ME preserves the newest on-media record instead of
+	// silently destroying it.
+	if gen := c.groups[sg].segGens[seg]; gen > 0 {
+		return gen, nil
 	}
 	return 0, fmt.Errorf("%w: no surviving summary for group %d segment %d", ErrBadSummary, sg, seg)
 }

@@ -45,23 +45,63 @@ func (c *Cache) gc(at vtime.Time) error {
 			return ErrNoFreeGroups
 		}
 		g := &c.groups[victim]
-		// Sel-GC copies while utilization is below U_MAX; S2D otherwise.
-		// A fully live victim is always destaged: copying it would make no
-		// space.
-		copyMode := c.copyEligible() && g.valid < g.paycap
-		live, readDone, err := c.evacuate(at, victim, copyMode)
+		oldest := c.fifo[0]
+		// Sel-GC copies while utilization is below U_MAX; S2D otherwise. A
+		// fully live victim is always destaged (copying it would make no
+		// space), and copy mode needs a free group to absorb the copies,
+		// since the victim is now reclaimed only after they are written.
+		copyMode := c.copyEligible() && g.valid < g.paycap && len(c.freeSGs) > 0
+		if !copyMode && victim != oldest {
+			// Destage forgets records: dirty pages move to primary and clean
+			// pages are dropped, destroying the newest on-media record of
+			// those LBAs. Recovery resurrects the newest surviving record,
+			// so forgetting is only crash-safe from the oldest closed group,
+			// where FIFO destruction order (plus the flush barrier below)
+			// guarantees every older record is already durably gone. Greedy
+			// and CostBenefit keep their preference for copy-mode victims
+			// and fall back to the oldest group when destaging.
+			victim, g = oldest, &c.groups[oldest]
+			copyMode = c.copyEligible() && g.valid < g.paycap && len(c.freeSGs) > 0
+		}
+		// A non-oldest copy-mode victim must copy even cold clean pages:
+		// dropping one forgets its newest record while stale older records
+		// may survive in groups that are not yet reclaimed.
+		keepCold := copyMode && victim != oldest
+		live, readDone, err := c.evacuate(at, victim, copyMode, keepCold)
 		if err != nil {
 			return err
 		}
-		if err := c.reclaim(at, victim); err != nil {
-			return err
-		}
 		if copyMode {
-			err = c.reinsert(readDone, live)
+			err = c.reinsert(readDone, live, keepCold)
 		} else {
 			err = c.destage(readDone, live)
 		}
 		if err != nil {
+			return err
+		}
+		// Crash-ordering barrier (found by the torture engine's prefix
+		// schedules): the victim's trim destroys the only on-media record of
+		// everything just moved out of it. Drain the copies and flush before
+		// trimming, so a persisted trim implies the replacement copies — and
+		// every earlier trim — are durable. Each trim is thereby separated
+		// from the previous one by at least one flush, giving the strictly
+		// oldest-first durable destruction order recovery depends on.
+		done, err := c.drainDirty(readDone)
+		if errors.Is(err, ErrNoFreeGroups) {
+			// At the no-free-groups edge a destage round is digging out of,
+			// there may be no segment left to seal the tails into. The
+			// barrier only needs the replacement copies durable somewhere
+			// before the trim: primary storage serves, at the price of the
+			// cached copies.
+			done, err = c.destageBufferedDirty(readDone)
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := c.flushSSDs(done); err != nil {
+			return err
+		}
+		if err := c.reclaim(at, victim); err != nil {
 			return err
 		}
 	}
@@ -126,10 +166,10 @@ func (c *Cache) costBenefit(sg int64) float64 {
 
 // evacuate gathers every valid page of the victim into RAM, charging the
 // SSD reads needed to stage the pages that will move: dirty pages always
-// (they are either destaged or copied), and hot clean pages under S2S copy
-// mode. It clears the victim's slots and mapping entries, so the group can
-// be reclaimed before the pages are rewritten.
-func (c *Cache) evacuate(at vtime.Time, victim int64, copyMode bool) ([]liveEntry, vtime.Time, error) {
+// (they are either destaged or copied), hot clean pages under S2S copy
+// mode, and all clean pages when keepCold copies them forward. It clears
+// the victim's slots and mapping entries.
+func (c *Cache) evacuate(at vtime.Time, victim int64, copyMode, keepCold bool) ([]liveEntry, vtime.Time, error) {
 	g := &c.groups[victim]
 	live := make([]liveEntry, 0, g.valid)
 	readDone := at
@@ -145,7 +185,7 @@ func (c *Cache) evacuate(at vtime.Time, victim int64, copyMode bool) ([]liveEntr
 		loc := base + s
 		e := liveEntry{
 			lba: lba, loc: loc, dirty: dirty,
-			read: dirty || (copyMode && c.hot.Get(lba)),
+			read: dirty || (copyMode && (keepCold || c.hot.Get(lba))),
 		}
 		if c.cfg.TrackContent {
 			col, off := c.lay.devOffset(c.cfg, loc)
@@ -294,11 +334,12 @@ func (c *Cache) reclaim(at vtime.Time, victim int64) error {
 
 // reinsert implements the S2S path of Sel-GC: dirty pages re-enter the
 // dirty segment buffer, hot clean pages the clean buffer (with their hot
-// bit consumed — second chance), and cold clean pages are dropped.
-func (c *Cache) reinsert(at vtime.Time, live []liveEntry) error {
+// bit consumed — second chance), and cold clean pages are dropped — unless
+// keepCold copies them too, the crash-safe mode for non-oldest victims.
+func (c *Cache) reinsert(at vtime.Time, live []liveEntry, keepCold bool) error {
 	for _, e := range live {
 		if !e.dirty {
-			if !c.hot.Get(e.lba) {
+			if !keepCold && !c.hot.Get(e.lba) {
 				continue // cold clean data: discarding it costs nothing
 			}
 			if _, ok := c.mapping[e.lba]; ok {
@@ -336,6 +377,40 @@ func (c *Cache) reinsert(at vtime.Time, live []liveEntry) error {
 		}
 	}
 	return nil
+}
+
+// destageBufferedDirty empties the dirty RAM buffers by writing their pages
+// back to primary storage and dropping them from the cache — gc's
+// space-pressure fallback when the pre-trim drain cannot allocate a
+// segment. Write-through semantics for the affected pages: they stay
+// durable on primary and refetch on the next miss.
+func (c *Cache) destageBufferedDirty(at vtime.Time) (vtime.Time, error) {
+	var lbas []int64
+	gather := func(buf *segBuffer) {
+		if buf == nil {
+			return
+		}
+		for _, s := range buf.slots {
+			if s.valid {
+				lbas = append(lbas, s.lba)
+			}
+		}
+	}
+	gather(c.dirtyBuf)
+	gather(c.gcBuf)
+	if len(lbas) == 0 {
+		return at, nil
+	}
+	done, err := c.destageRuns(at, lbas)
+	if err != nil {
+		return at, err
+	}
+	for _, lba := range lbas {
+		if e, ok := c.mapping[lba]; ok {
+			c.dropPage(lba, e)
+		}
+	}
+	return done, nil
 }
 
 // destage implements S2D: dirty pages are written back to primary storage

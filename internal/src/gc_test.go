@@ -51,7 +51,7 @@ func TestReinsertKeepsHotBitWhenSuperseded(t *testing.T) {
 
 	cleanBefore := c.cleanBuf.Live()
 	copiedBefore := c.counters.GCCopyBytes
-	if err := c.reinsert(0, []liveEntry{{lba: lba, dirty: false}}); err != nil {
+	if err := c.reinsert(0, []liveEntry{{lba: lba, dirty: false}}, false); err != nil {
 		t.Fatal(err)
 	}
 	if !c.hot.Get(lba) {
@@ -78,7 +78,7 @@ func TestReinsertCopiesHotClean(t *testing.T) {
 	c.hot.Set(lba)
 
 	cleanBefore := c.cleanBuf.Live()
-	if err := c.reinsert(0, []liveEntry{{lba: lba, dirty: false}}); err != nil {
+	if err := c.reinsert(0, []liveEntry{{lba: lba, dirty: false}}, false); err != nil {
 		t.Fatal(err)
 	}
 	if c.hot.Get(lba) {
@@ -97,7 +97,7 @@ func TestReinsertCopiesHotClean(t *testing.T) {
 
 	// A cold clean page is dropped outright.
 	const cold = 9
-	if err := c.reinsert(0, []liveEntry{{lba: cold, dirty: false}}); err != nil {
+	if err := c.reinsert(0, []liveEntry{{lba: cold, dirty: false}}, false); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.mapping[cold]; ok {

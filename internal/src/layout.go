@@ -123,18 +123,27 @@ type group struct {
 	// segParity records, per segment, which column held parity (-1 for
 	// parityless segments); needed for reconstruction and recovery.
 	segParity []int8
+	// segGens records, per segment, the generation it was sealed or
+	// recovered with (0 when empty). A rebuild consults it when the column
+	// being rebuilt held the only surviving summary of a segment: the
+	// in-memory cache still vouches for the segment, and the rebuilt
+	// column's fresh MS/ME must carry the original generation so newest-
+	// wins ordering holds at the next recovery.
+	segGens []int64
 }
 
 func (g *group) ensureTables(l layout) {
 	if g.slots == nil {
 		g.slots = make([]int64, l.slotsPerSG())
 		g.segParity = make([]int8, l.segsPerSG)
+		g.segGens = make([]int64, l.segsPerSG)
 	}
 	for i := range g.slots {
 		g.slots[i] = slotFree
 	}
 	for i := range g.segParity {
 		g.segParity[i] = -1
+		g.segGens[i] = 0
 	}
 }
 

@@ -74,6 +74,7 @@ func (c *Cache) Recover() (int, error) {
 			}
 			for i := range g.segParity {
 				g.segParity[i] = -1
+				g.segGens[i] = 0
 			}
 		}
 	}
@@ -84,6 +85,11 @@ func (c *Cache) Recover() (int, error) {
 	}
 	// Apply in generation order so the newest copy of each LBA wins.
 	sort.Slice(segs, func(i, j int) bool { return segs[i].gen < segs[j].gen })
+	if c.cfg.Recovery.OldestWins {
+		for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+			segs[i], segs[j] = segs[j], segs[i]
+		}
+	}
 	maxGen := int64(0)
 	for _, rs := range segs {
 		c.applySegment(rs)
@@ -118,7 +124,71 @@ func (c *Cache) Recover() (int, error) {
 			c.freeSGs = append(c.freeSGs, sg)
 		}
 	}
+
+	// A crash can cut independent drive caches at different points, leaving
+	// a recovered segment whose columns persisted unevenly: each applied
+	// column's own pages are intact (its MS/ME sandwich vouches for them),
+	// but the parity page — written by a different device — may be stale,
+	// so a later device failure could not reconstruct the recovered pages,
+	// and a rebuild would refuse to resurrect them. Recompute every
+	// recovered segment's parity from the live mapping (expected tags for
+	// mapped slots, whatever the media holds for stale ones) and rewrite
+	// where it differs. The writes stay volatile: a repeat crash reverts
+	// them and the next recovery derives the same repair from the same
+	// committed state.
+	if err := c.repairRecoveredParity(segs); err != nil {
+		return 0, err
+	}
 	return len(segs), nil
+}
+
+// repairRecoveredParity restores the parity stripes of recovered segments.
+// Mapped slots contribute their expected tag — repairing silently corrupted
+// pages into a reconstructable stripe rather than baking the corruption in —
+// and free slots contribute the media tag as-is, so stale remnants of torn
+// columns stay XOR-consistent without being trusted.
+func (c *Cache) repairRecoveredParity(segs []recoveredSeg) error {
+	for _, rs := range segs {
+		pcol := int(c.groups[rs.sg].segParity[rs.seg])
+		if pcol < 0 {
+			continue
+		}
+		for pic := int64(1); pic <= c.lay.payloadPages; pic++ {
+			var want blockdev.Tag
+			for col := 0; col < c.lay.m; col++ {
+				if col == pcol {
+					continue
+				}
+				loc := c.lay.loc(rs.sg, rs.seg, col, pic)
+				_, off := c.lay.devOffset(c.cfg, loc)
+				if slot := c.groups[rs.sg].slots[c.lay.localSlot(loc)]; slot != slotFree {
+					lba, _ := unpackSlot(slot)
+					if v := c.versions[lba]; v > 0 {
+						want = want.XOR(blockdev.DataTag(lba, v))
+						continue
+					}
+				}
+				t, err := c.cfg.SSDs[col].Content().ReadTag(off / blockdev.PageSize)
+				if err != nil {
+					return err
+				}
+				want = want.XOR(t)
+			}
+			ploc := c.lay.loc(rs.sg, rs.seg, pcol, pic)
+			_, poff := c.lay.devOffset(c.cfg, ploc)
+			pcont := c.cfg.SSDs[pcol].Content()
+			got, err := pcont.ReadTag(poff / blockdev.PageSize)
+			if err != nil {
+				return err
+			}
+			if got != want {
+				if err := pcont.WriteTag(poff/blockdev.PageSize, want); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
 }
 
 // checkSuperblock validates the instance superblock against the
@@ -145,6 +215,10 @@ func (c *Cache) checkSuperblock() error {
 // scanSummaries walks every potential segment position and collects the
 // column summaries whose MS/ME generations match.
 func (c *Cache) scanSummaries() ([]recoveredSeg, error) {
+	parse := parseSummary
+	if c.cfg.Recovery.SkipSummaryCRC {
+		parse = parseSummaryLenient
+	}
 	var out []recoveredSeg
 	for sg := int64(1); sg < c.lay.numSG; sg++ {
 		for seg := int64(0); seg < c.lay.segsPerSG; seg++ {
@@ -156,7 +230,7 @@ func (c *Cache) scanSummaries() ([]recoveredSeg, error) {
 				if err != nil || msBlob == nil {
 					continue
 				}
-				ms, err := parseSummary(msBlob)
+				ms, err := parse(msBlob)
 				if err != nil {
 					continue // torn or corrupt MS: skip the column
 				}
@@ -164,14 +238,31 @@ func (c *Cache) scanSummaries() ([]recoveredSeg, error) {
 				if err != nil || meBlob == nil {
 					continue
 				}
-				me, err := parseSummary(meBlob)
-				if err != nil || me.gen != ms.gen {
+				me, err := parse(meBlob)
+				if err != nil {
+					continue
+				}
+				if me.gen != ms.gen && !c.cfg.Recovery.SkipGenerationCheck {
 					continue // generation mismatch: torn segment column
+				}
+				if n := int(c.lay.payloadPages); len(ms.entries) > n {
+					// Only the lenient parse can produce an oversized entry
+					// array; clip so the misapplication stays in bounds.
+					ms.entries = ms.entries[:n]
 				}
 				if ms.sg != sg || ms.seg != seg || int(ms.col) != col {
 					continue // stale summary from an address mix-up
 				}
-				if rs == nil {
+				// Columns can disagree on the generation when the segment's
+				// coordinates were trimmed and resealed and the crash kept the
+				// trim on some devices but not others: the cut-early device
+				// still holds the previous seal's summary. The newest seal
+				// wins — gc submits a trim only after the replacement copies
+				// of everything the trim destroys are drained and flushed, so
+				// the stale remnant's records are superseded by durable copies
+				// elsewhere and dropping it loses nothing, while keeping it
+				// would discard the newest seal's only record.
+				if rs == nil || ms.gen > rs.gen {
 					rs = &recoveredSeg{gen: ms.gen, sg: sg, seg: seg, parity: ms.parityCol}
 				}
 				if ms.gen == rs.gen {
@@ -191,6 +282,7 @@ func (c *Cache) applySegment(rs recoveredSeg) {
 	g := &c.groups[rs.sg]
 	g.ensureTablesIfNeeded(c.lay)
 	g.segParity[rs.seg] = rs.parity
+	g.segGens[rs.seg] = rs.gen
 	// Capacity: payload columns of this segment kind.
 	nPayload := c.lay.m
 	if rs.parity >= 0 {
@@ -232,6 +324,7 @@ func (g *group) ensureTablesIfNeeded(l layout) {
 		for i := range g.segParity {
 			g.segParity[i] = -1
 		}
+		g.segGens = make([]int64, l.segsPerSG)
 	}
 }
 
@@ -332,6 +425,21 @@ func (c *Cache) ReadCheck(at vtime.Time, lba int64) (blockdev.Tag, vtime.Time, e
 		}
 		if err := c.cfg.SSDs[col].Content().WriteTag(off/blockdev.PageSize, fixed); err != nil {
 			return fixed, t, err
+		}
+		// Commit the rewrite at once. If it stayed volatile, a crash would
+		// revert the page to its corrupted committed copy, and resurrected
+		// corruptions could accumulate until two share a parity stripe —
+		// which single-parity reconstruction cannot survive. The barrier
+		// spans the whole array, not just the repaired member: a
+		// single-member flush would commit that member's pending trims
+		// while its siblings' stayed volatile, and a crash would then
+		// resurrect a segment group on some columns only. (FlushNever keeps
+		// its no-barriers contract: flushSSDs is a no-op there, and the
+		// policy accepts the resurrection exposure.)
+		if ft, ferr := c.flushSSDs(t); ferr == nil {
+			t = ft
+		} else {
+			return fixed, t, ferr
 		}
 		c.repair.CorruptionsRepaired++
 		return fixed, t, nil

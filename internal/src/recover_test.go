@@ -155,6 +155,75 @@ func TestRecoverMetadataFaults(t *testing.T) {
 	}
 }
 
+// TestRecoverCombinedMetadataFaults pairs a torn MS blob with a
+// silently-corrupted ME twin on the same column — the two sandwich halves
+// failing in different ways at once. The column must contribute nothing
+// (neither half can vouch for the other), while the segment still recovers
+// from the intact columns' consistent generation; when every column
+// carries the compound fault, the segment is discarded whole rather than
+// partially resurrected.
+func TestRecoverCombinedMetadataFaults(t *testing.T) {
+	base := recoveryEnv(t)
+	baseSegs, err := base.cache.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	basePages := len(base.cache.mapping)
+
+	t.Run("one column", func(t *testing.T) {
+		e := recoveryEnv(t)
+		ms, me := metaPages(t, e)
+		if err := e.ssds[0].Content().Trim(ms, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.ssds[0].Content().Corrupt(me); err != nil {
+			t.Fatal(err)
+		}
+		segs, err := e.cache.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if segs != baseSegs {
+			t.Fatalf("recovered %d segments, want %d (survivors' generation wins)", segs, baseSegs)
+		}
+		if pages := len(e.cache.mapping); pages >= basePages {
+			t.Fatalf("recovered %d pages, want fewer than intact %d", pages, basePages)
+		}
+		e.checkInvariants()
+		for lba := range e.cache.mapping {
+			if _, _, err := e.cache.ReadCheck(e.at, lba); err != nil {
+				t.Fatalf("ReadCheck(%d) after recovery: %v", lba, err)
+			}
+		}
+	})
+
+	t.Run("every column", func(t *testing.T) {
+		e := recoveryEnv(t)
+		ms, me := metaPages(t, e)
+		for _, d := range e.ssds {
+			if err := d.Content().Trim(ms, 1); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.Content().Corrupt(me); err != nil {
+				t.Fatal(err)
+			}
+		}
+		segs, err := e.cache.Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if segs != baseSegs-1 {
+			t.Fatalf("recovered %d segments, want %d (faulted segment discarded)", segs, baseSegs-1)
+		}
+		e.checkInvariants()
+		for lba := range e.cache.mapping {
+			if _, _, err := e.cache.ReadCheck(e.at, lba); err != nil {
+				t.Fatalf("ReadCheck(%d) after recovery: %v", lba, err)
+			}
+		}
+	})
+}
+
 // TestRecoverNewestGenerationWins rewrites every page in a second flushed
 // epoch: both generations' summaries are durable, and recovery must apply
 // them in generation order so the newer version of each LBA wins.

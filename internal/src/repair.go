@@ -40,6 +40,10 @@ type RepairStats struct {
 	// CorruptionsRepaired counts detected corruptions repaired from parity
 	// or by primary refetch.
 	CorruptionsRepaired int64
+	// RebuildDirtyLost counts dirty pages dropped during a rebuild because
+	// their stripe could not be reconstructed and verified — compound-fault
+	// data loss, detected rather than resurrected as garbage.
+	RebuildDirtyLost int64
 }
 
 // RepairStats reports accumulated self-healing activity.

@@ -64,7 +64,7 @@ func (c *Cache) Resize(at vtime.Time, ssds []blockdev.Device) (vtime.Time, error
 		if st != groupClosed && st != groupActive {
 			continue
 		}
-		entries, t, err := c.evacuate(at, sg, true)
+		entries, t, err := c.evacuate(at, sg, true, true)
 		if err != nil {
 			return at, err
 		}

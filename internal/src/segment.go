@@ -58,21 +58,35 @@ func (c *Cache) writeSegment(at vtime.Time, buf *segBuffer, dirty bool) (vtime.T
 		buf.Reset()
 		return at, nil
 	}
-	// Snapshot and reset the buffer before allocating: allocation may
-	// trigger GC, whose S2S copies append to this very buffer (they go
-	// into the next segment, not this one).
-	slots := append(make([]bufSlot, 0, buf.Len()), buf.slots...)
-	buf.Reset()
+	// Allocate before snapshotting the buffer: allocation may trigger GC,
+	// whose trim barrier must see this buffer's pages. A host overwrite of
+	// an SSD-resident dirty page has already invalidated the superseded
+	// copy's slot, so GC treats the group holding it as reclaimable — if
+	// these pages were snapshotted out of the buffer first, the pre-trim
+	// drain could not seal and flush them, and a committed trim would
+	// destroy the only durable record of an acknowledged page while its
+	// replacement was still volatile (found by the chaos harness's
+	// partial-persistence schedules). GC's own S2S copies appending to
+	// this buffer mid-allocation are equally welcome in this segment.
 	sg, seg, err := c.allocSegment(at)
 	if err != nil {
 		return at, err
 	}
+	if buf.Empty() {
+		// GC ran during allocation and its drain sealed this buffer
+		// already; hand the unused segment back.
+		c.nextSeg--
+		return at, nil
+	}
+	slots := append(make([]bufSlot, 0, buf.Len()), buf.slots...)
+	buf.Reset()
 	absSeg := sg*c.lay.segsPerSG + seg
 	cols, parity := c.payloadCols(absSeg, dirty)
 	g := &c.groups[sg]
 	g.segParity[seg] = int8(parity)
 	c.segGen++
 	gen := c.segGen
+	g.segGens[seg] = gen
 
 	// Column-major slot assignment keeps logically consecutive pages
 	// physically consecutive within a column, so large reads coalesce.
@@ -172,15 +186,18 @@ func (c *Cache) writeSegment(at vtime.Time, buf *segBuffer, dirty bool) (vtime.T
 		}
 	}
 
-	// Flush-command control (paper §4.1): per segment write, or when the
-	// active group just filled. Suppressed while GC or a rebuild runs: a
-	// flush there would commit the destruction of old durable records —
-	// reclaimed groups being reused, rebuilt summaries holding sentinels
-	// for slots invalidated since the last flush — before the replacement
-	// copies leave RAM. GC drains the dirty buffers before returning and
-	// the rebuild completion barrier drains before flushing, so those
-	// destructions always commit together with their replacements.
-	if !c.inGC && c.rebuild == nil && (c.cfg.Flush == FlushPerSegment || seg == c.lay.segsPerSG-1) {
+	// Flush-command control (paper §4.1): per segment write (which on this
+	// layout is also the per-metadata cadence — every segment write carries
+	// its MS/ME summaries), or when the active group just filled.
+	// Suppressed while GC or a rebuild runs: a flush there would commit the
+	// destruction of old durable records — reclaimed groups being reused,
+	// rebuilt summaries holding sentinels for slots invalidated since the
+	// last flush — before the replacement copies leave RAM. GC drains the
+	// dirty buffers before returning and the rebuild completion barrier
+	// drains before flushing, so those destructions always commit together
+	// with their replacements. FlushNever is handled inside flushSSDs.
+	perWrite := c.cfg.Flush == FlushPerSegment || c.cfg.Flush == FlushPerMetadata
+	if !c.inGC && c.rebuild == nil && (perWrite || seg == c.lay.segsPerSG-1) {
 		t, ferr := c.flushSSDs(done)
 		if ferr != nil {
 			return done, ferr

@@ -468,8 +468,13 @@ func (c *Cache) Tick(at vtime.Time) (vtime.Time, error) {
 }
 
 // flushSSDs issues the flush command to every SSD and returns the last
-// completion. Fail-stopped columns are skipped.
+// completion. Fail-stopped columns are skipped. Under FlushNever the
+// command is suppressed entirely — the Flashcache-style baseline whose
+// data-loss window the torture engine measures.
 func (c *Cache) flushSSDs(at vtime.Time) (vtime.Time, error) {
+	if c.cfg.Flush == FlushNever {
+		return at, nil
+	}
 	done := at
 	for col, d := range c.cfg.SSDs {
 		if c.colDown[col] {

@@ -166,6 +166,9 @@ func TestEnumStrings(t *testing.T) {
 	if FlushPerSegment.String() != "per-segment" || FlushPerSegmentGroup.String() != "per-segment-group" {
 		t.Fatal("flush names")
 	}
+	if FlushPerMetadata.String() != "per-metadata" || FlushNever.String() != "never" {
+		t.Fatal("flush names")
+	}
 }
 
 func TestRAID0ForcesNPC(t *testing.T) {
@@ -362,12 +365,22 @@ func TestFlushPolicyFrequency(t *testing.T) {
 		return e.cache.Counters().SSDFlushes
 	}
 	perSeg := countFlushes(FlushPerSegment)
+	perMeta := countFlushes(FlushPerMetadata)
 	perSG := countFlushes(FlushPerSegmentGroup)
+	never := countFlushes(FlushNever)
 	if perSeg < 8 {
 		t.Fatalf("per-segment flushes %d, want at least one per segment", perSeg)
 	}
+	// On SRC's layout every segment write ends in metadata (the ME blob),
+	// so the Bcache-style per-metadata cadence coincides with per-segment.
+	if perMeta != perSeg {
+		t.Fatalf("per-metadata flushed %d times, per-segment %d; want equal on this layout", perMeta, perSeg)
+	}
 	if perSG != 0 {
 		t.Fatalf("per-SG flushed %d times before any group filled", perSG)
+	}
+	if never != 0 {
+		t.Fatalf("FlushNever flushed %d times", never)
 	}
 }
 
