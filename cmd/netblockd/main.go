@@ -5,6 +5,12 @@
 // Usage:
 //
 //	netblockd -addr 127.0.0.1:8700 -size 268435456
+//	netblockd -addr 127.0.0.1:8700 -size 268435456 -shards 8
+//
+// With -shards N the volume is served by the concurrent engine: the LBA
+// space is partitioned across N src.Cache shards with per-shard request
+// queues, instead of one flat in-memory volume behind a lock. -shards 0
+// (the default) keeps the flat volume.
 //
 // SIGINT or SIGTERM drains gracefully: the listener closes, in-flight
 // requests get -drain to finish, and idle connections are dropped.
@@ -20,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"srccache/internal/engine"
 	"srccache/internal/netblock"
 )
 
@@ -42,29 +49,75 @@ func main() {
 func run(args []string, stdout io.Writer, stop <-chan struct{}, ready chan<- net.Addr) error {
 	fs := flag.NewFlagSet("netblockd", flag.ContinueOnError)
 	var (
-		addr  = fs.String("addr", "127.0.0.1:8700", "listen address")
-		size  = fs.Int64("size", 256<<20, "volume size in bytes")
-		idle  = fs.Duration("idle-timeout", 2*time.Minute, "drop connections idle this long (0 = never)")
-		drain = fs.Duration("drain", time.Second, "shutdown grace for in-flight requests")
+		addr   = fs.String("addr", "127.0.0.1:8700", "listen address")
+		size   = fs.Int64("size", 256<<20, "volume size in bytes")
+		shards = fs.Int("shards", 0, "serve through the concurrent engine with this many cache shards (0 = flat volume)")
+		idle   = fs.Duration("idle-timeout", 2*time.Minute, "drop connections idle this long (0 = never)")
+		drain  = fs.Duration("drain", time.Second, "shutdown grace for in-flight requests")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := netblock.NewServer(*size)
-	if err != nil {
-		return err
+
+	var (
+		srv     *netblock.Server
+		backing string
+		eng     *engine.Engine
+	)
+	if *shards > 0 {
+		if *size%int64(*shards) != 0 {
+			return fmt.Errorf("size %d does not divide into %d shards", *size, *shards)
+		}
+		build, err := engine.MemShardBuilder(engine.ShardSpec{
+			ShardBytes: *size / int64(*shards),
+		})
+		if err != nil {
+			return err
+		}
+		// 1 MiB routing stripes: coarse enough that client-sized requests
+		// rarely straddle shards, fine enough that small volumes still
+		// split. Requires size/shards to be a 1 MiB multiple.
+		eng, err = engine.New(engine.Options{Shards: *shards, StripePages: 256, Payload: true}, build)
+		if err != nil {
+			return err
+		}
+		if err := eng.Start(); err != nil {
+			return err
+		}
+		srv, err = netblock.NewServerWith(eng)
+		if err != nil {
+			eng.Close()
+			return err
+		}
+		backing = fmt.Sprintf("engine, %d shards", *shards)
+	} else {
+		var err error
+		srv, err = netblock.NewServer(*size)
+		if err != nil {
+			return err
+		}
+		backing = "flat volume"
 	}
 	srv.IdleTimeout = *idle
 	srv.DrainGrace = *drain
 	bound, err := srv.Listen(*addr)
 	if err != nil {
+		if eng != nil {
+			eng.Close()
+		}
 		return err
 	}
-	fmt.Fprintf(stdout, "netblockd: serving %d bytes on %s\n", *size, bound)
+	fmt.Fprintf(stdout, "netblockd: serving %d bytes (%s) on %s\n", *size, backing, bound)
 	if ready != nil {
 		ready <- bound
 	}
 	<-stop
 	fmt.Fprintln(stdout, "netblockd: shutting down")
-	return srv.Close()
+	err = srv.Close()
+	if eng != nil {
+		if cerr := eng.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

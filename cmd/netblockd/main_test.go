@@ -48,6 +48,65 @@ func TestServeAndShutdown(t *testing.T) {
 	}
 }
 
+// TestServeEngineMode serves through the sharded engine and exercises the
+// full client surface — size, write, read, trim, flush — over the wire.
+func TestServeEngineMode(t *testing.T) {
+	var out bytes.Buffer
+	stop := make(chan struct{})
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-size", "16777216",
+			"-shards", "4", "-drain", "100ms"}, &out, stop, ready)
+	}()
+	addr := <-ready
+
+	cli, err := netblock.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cli.Size() != 16<<20 {
+		t.Fatalf("size %d", cli.Size())
+	}
+	// A write spanning the 1 MiB shard-stripe boundary must round-trip.
+	span := make([]byte, 8192)
+	for i := range span {
+		span[i] = byte(i)
+	}
+	boundary := int64(1<<20 - 4096)
+	if _, err := cli.WriteAt(span, boundary); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(span))
+	if _, err := cli.ReadAt(got, boundary); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, span) {
+		t.Fatal("stripe-crossing write diverges on readback")
+	}
+	if err := cli.Trim(boundary, int64(len(span))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.ReadAt(got, boundary); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, len(span))) {
+		t.Fatal("trimmed range not zeroed")
+	}
+	if err := cli.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "engine, 4 shards") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
 func TestBadArgs(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-size", "0"}, &out, nil, nil); err == nil {
@@ -58,5 +117,8 @@ func TestBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "999.999.999.999:99999"}, &out, nil, nil); err == nil {
 		t.Fatal("bad address accepted")
+	}
+	if err := run([]string{"-size", "1048576", "-shards", "3"}, &out, nil, nil); err == nil {
+		t.Fatal("indivisible shard split accepted")
 	}
 }

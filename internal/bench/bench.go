@@ -88,16 +88,38 @@ type Options struct {
 	Interleave func(at vtime.Time) (vtime.Time, error)
 }
 
-// Result summarizes a run.
+// Result summarizes a run. The per-op request and byte buckets partition
+// the totals: ReadRequests+WriteRequests+TrimRequests == Requests and
+// likewise for bytes, so trim-heavy traces can no longer silently
+// misattribute throughput to the read/write mix.
 type Result struct {
 	Requests      int64
 	ReadRequests  int64
 	WriteRequests int64
+	TrimRequests  int64
 	Bytes         int64
 	ReadBytes     int64
 	WriteBytes    int64
+	TrimBytes     int64
 	Start, End    vtime.Time
 	Latency       stats.Histogram
+}
+
+// count attributes one submitted request to its op bucket and the totals.
+func (r *Result) count(req blockdev.Request) {
+	r.Requests++
+	r.Bytes += req.Len
+	switch req.Op {
+	case blockdev.OpRead:
+		r.ReadRequests++
+		r.ReadBytes += req.Len
+	case blockdev.OpWrite:
+		r.WriteRequests++
+		r.WriteBytes += req.Len
+	case blockdev.OpTrim:
+		r.TrimRequests++
+		r.TrimBytes += req.Len
+	}
 }
 
 // Makespan is the virtual time the run occupied.
@@ -182,16 +204,7 @@ func Run(sys System, sources []workload.Source, opt Options) (*Result, error) {
 		if err != nil {
 			return res, fmt.Errorf("bench: %v at %v: %w", req, ev.at, err)
 		}
-		res.Requests++
-		res.Bytes += req.Len
-		switch req.Op {
-		case blockdev.OpRead:
-			res.ReadRequests++
-			res.ReadBytes += req.Len
-		case blockdev.OpWrite:
-			res.WriteRequests++
-			res.WriteBytes += req.Len
-		}
+		res.count(req)
 		res.Latency.Observe(done.Sub(ev.at))
 		if opt.Interleave != nil {
 			t, err := opt.Interleave(done)

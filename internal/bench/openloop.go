@@ -56,16 +56,7 @@ func RunOpenLoop(sys System, arrivals []TimedRequest, opt OpenLoopOptions) (*Res
 		if err != nil {
 			return res, fmt.Errorf("bench: %v at %v: %w", a.Req, at, err)
 		}
-		res.Requests++
-		res.Bytes += a.Req.Len
-		switch a.Req.Op {
-		case blockdev.OpRead:
-			res.ReadRequests++
-			res.ReadBytes += a.Req.Len
-		case blockdev.OpWrite:
-			res.WriteRequests++
-			res.WriteBytes += a.Req.Len
-		}
+		res.count(a.Req)
 		res.Latency.Observe(done.Sub(at))
 		if done > res.End {
 			res.End = done

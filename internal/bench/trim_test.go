@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"testing"
+
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+	"srccache/internal/workload"
+)
+
+// mixedSource yields a deterministic read/write/trim rotation.
+type mixedSource struct {
+	n, max int64
+}
+
+func (s *mixedSource) Next() (blockdev.Request, bool) {
+	if s.n >= s.max {
+		return blockdev.Request{}, false
+	}
+	ops := [...]blockdev.Op{blockdev.OpRead, blockdev.OpWrite, blockdev.OpTrim}
+	req := blockdev.Request{
+		Op:  ops[s.n%3],
+		Off: (s.n % 8) * blockdev.PageSize,
+		Len: blockdev.PageSize * (1 + s.n%2),
+	}
+	s.n++
+	return req, true
+}
+
+var _ workload.Source = (*mixedSource)(nil)
+
+// checkBucketsPartition asserts the op buckets sum to the totals — the
+// regression for trims landing in Requests/Bytes but in no bucket.
+func checkBucketsPartition(t *testing.T, res *Result) {
+	t.Helper()
+	if got := res.ReadRequests + res.WriteRequests + res.TrimRequests; got != res.Requests {
+		t.Fatalf("request buckets %d+%d+%d = %d, total %d",
+			res.ReadRequests, res.WriteRequests, res.TrimRequests, got, res.Requests)
+	}
+	if got := res.ReadBytes + res.WriteBytes + res.TrimBytes; got != res.Bytes {
+		t.Fatalf("byte buckets %d+%d+%d = %d, total %d",
+			res.ReadBytes, res.WriteBytes, res.TrimBytes, got, res.Bytes)
+	}
+}
+
+func TestRunCountsTrims(t *testing.T) {
+	dev := blockdev.NewMemDevice(1<<20, vtime.Microsecond)
+	res, err := Run(dev, []workload.Source{&mixedSource{max: 30}}, Options{Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 30 {
+		t.Fatalf("requests %d", res.Requests)
+	}
+	if res.TrimRequests != 10 {
+		t.Fatalf("trim requests %d, want 10", res.TrimRequests)
+	}
+	if res.TrimBytes == 0 {
+		t.Fatal("trim bytes uncounted")
+	}
+	checkBucketsPartition(t, res)
+}
+
+func TestOpenLoopCountsTrims(t *testing.T) {
+	dev := blockdev.NewMemDevice(1<<20, vtime.Microsecond)
+	src := &mixedSource{max: 30}
+	var arrivals []TimedRequest
+	for i := 0; ; i++ {
+		req, ok := src.Next()
+		if !ok {
+			break
+		}
+		arrivals = append(arrivals, TimedRequest{At: vtime.Time(i) * vtime.Time(vtime.Millisecond), Req: req})
+	}
+	res, err := RunOpenLoop(dev, arrivals, OpenLoopOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TrimRequests != 10 || res.Requests != 30 {
+		t.Fatalf("trims %d / requests %d", res.TrimRequests, res.Requests)
+	}
+	checkBucketsPartition(t, res)
+}

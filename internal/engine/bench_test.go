@@ -1,0 +1,39 @@
+package engine
+
+import "testing"
+
+// TestBenchSuiteSmoke runs a miniature suite end to end: schema stamped,
+// one point per mode, throughput and latency digests populated.
+func TestBenchSuiteSmoke(t *testing.T) {
+	res, err := RunBenchSuite(BenchConfig{
+		Span:        32 << 20,
+		Requests:    8000,
+		Clients:     4,
+		Batch:       64,
+		ShardCounts: []int{1, 2},
+	}, func(string) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != BenchSchema {
+		t.Fatalf("schema %q", res.Schema)
+	}
+	if len(res.Points) != 4 { // dispatch baseline, mutex reference, engine×2
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	wantModes := []string{"single-shard-dispatch", "serialized-mutex-reference", "engine", "engine"}
+	for i, p := range res.Points {
+		if p.Mode != wantModes[i] {
+			t.Fatalf("point %d mode %q, want %q", i, p.Mode, wantModes[i])
+		}
+		if p.Requests != 8000 || p.IOPS <= 0 || p.MBps <= 0 {
+			t.Fatalf("point %d implausible: %+v", i, p)
+		}
+		if p.Latency.P99Nanos < p.Latency.P50Nanos || p.Latency.MaxNanos < p.Latency.P99Nanos {
+			t.Fatalf("point %d latency digest out of order: %+v", i, p.Latency)
+		}
+	}
+	if res.Speedup <= 0 || res.SpeedupVsMutex <= 0 {
+		t.Fatalf("speedups not computed: %v %v", res.Speedup, res.SpeedupVsMutex)
+	}
+}

@@ -1,0 +1,553 @@
+// Package engine is the sharded, lock-minimal concurrent front-end over
+// the SRC cache: it partitions a volume's LBA space across N independent
+// src.Cache shards — the share-nothing unit the paper's design already
+// provides (independent segments, append-only full-stripe writes, no
+// read-modify-write) — and serves requests either deterministically in
+// virtual time (Serial, for the experiment engine) or on real goroutines
+// with per-shard request queues and batched segment-buffer appends (Start,
+// for wall-clock serving and benchmarking).
+//
+// Concurrency discipline:
+//
+//   - The routing table is immutable once published and is swapped
+//     atomically; the request path loads it with one atomic read and never
+//     takes a lock. Any topology change (today: sealing at Close) builds a
+//     new table and swaps the pointer.
+//   - Each shard's src.Cache, payload store, and virtual clock are owned
+//     exclusively by that shard's worker goroutine. All mutation happens on
+//     the worker; cross-shard state does not exist. The only
+//     synchronization on the hot path is one channel send per shard per
+//     batch and one atomic decrement per shard-batch on completion — the
+//     dm-writeboost idea of paying for synchronization once per hundreds of
+//     appended pages, not once per page.
+//   - Counter snapshots and flushes travel through the same per-shard
+//     queues as data, so they are ordered with respect to the ops they
+//     observe and need no locks either.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"srccache/internal/bench"
+	"srccache/internal/blockdev"
+	"srccache/internal/src"
+	"srccache/internal/vtime"
+)
+
+// Errors reported by the engine.
+var (
+	// ErrClosed reports a request submitted after Close.
+	ErrClosed = errors.New("engine: closed")
+	// ErrNotStarted reports a concurrent-mode call before Start.
+	ErrNotStarted = errors.New("engine: not started")
+	// ErrStarted reports a serial-mode call after Start.
+	ErrStarted = errors.New("engine: started; serial mode unavailable")
+)
+
+// Options configures an engine.
+type Options struct {
+	// Shards is the number of independent cache shards (default 1).
+	Shards int
+	// StripePages is the number of contiguous pages routed to one shard
+	// before the mapping moves to the next (default 4096 pages = 16 MiB).
+	// Large stripes keep most requests on a single shard; the stripe unit
+	// is also the granularity a future rebalancer would migrate.
+	StripePages int64
+	// QueueDepth is the per-shard batch-queue capacity (default 256
+	// batches). A full queue applies back-pressure to submitters.
+	QueueDepth int
+	// Payload allocates a per-shard byte store so the engine serves real
+	// data (the netblockd serving path). Without it the engine tracks
+	// cache accounting and timing only (the benchmark path).
+	Payload bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.StripePages == 0 {
+		o.StripePages = 4096
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 256
+	}
+	return o
+}
+
+// Request is one engine-level I/O over the volume's byte address space.
+// Data, when non-nil, must be Len bytes: the write source or read
+// destination for payload-mode engines.
+type Request struct {
+	Op   blockdev.Op
+	Off  int64
+	Len  int64
+	Data []byte
+}
+
+// opKind is the shard-worker vocabulary: the three data ops plus the
+// control ops that ride the same queues.
+type opKind uint8
+
+const (
+	kRead opKind = iota
+	kWrite
+	kTrim
+	kFlush
+	kCounters
+)
+
+// op is one shard-local operation: offsets are already remapped into the
+// shard's compact address space.
+type op struct {
+	kind opKind
+	off  int64
+	n    int64
+	data []byte
+	// snap receives the shard's counters for kCounters ops.
+	snap *bench.Counters
+}
+
+// completion fans in the per-shard batches of one submission: the last
+// shard to finish closes done. The first error wins; later ones are
+// dropped (they are almost always knock-ons of the first).
+type completion struct {
+	pending atomic.Int32
+	err     atomic.Pointer[error]
+	done    chan struct{}
+}
+
+func newCompletion(parts int32) *completion {
+	c := &completion{done: make(chan struct{})}
+	c.pending.Store(parts)
+	return c
+}
+
+func (c *completion) fail(err error) {
+	if err == nil {
+		return
+	}
+	c.err.CompareAndSwap(nil, &err)
+}
+
+func (c *completion) finish() {
+	if c.pending.Add(-1) == 0 {
+		close(c.done)
+	}
+}
+
+func (c *completion) wait() error {
+	<-c.done
+	if p := c.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// shardBatch is one channel message: a slice of ops for one shard, plus
+// the completion it participates in. stop ends the worker.
+type shardBatch struct {
+	ops  []op
+	done *completion
+	stop bool
+}
+
+// shard is one share-nothing cache partition. Every field below q is owned
+// by the worker goroutine (or by the caller in serial mode — never both:
+// Start hands ownership to the worker).
+type shard struct {
+	id int
+	q  chan shardBatch
+
+	cache *src.Cache
+	data  []byte     // payload store; nil unless Options.Payload
+	now   vtime.Time // shard-local virtual clock
+}
+
+// exec runs one op against the shard, advancing the shard clock.
+func (s *shard) exec(o *op) error {
+	switch o.kind {
+	case kFlush:
+		done, err := s.cache.Flush(s.now)
+		if err != nil {
+			return err
+		}
+		s.now = vtime.Max(s.now, done)
+		return nil
+	case kCounters:
+		*o.snap = s.cache.Counters()
+		return nil
+	}
+	// Payload copies are byte-granular; the cache models whole pages, so
+	// read/write accounting rounds outward to page boundaries and trim
+	// rounds inward (a partial page cannot be discarded).
+	switch o.kind {
+	case kRead, kWrite:
+		first := o.off / blockdev.PageSize * blockdev.PageSize
+		last := (o.off + o.n + blockdev.PageSize - 1) / blockdev.PageSize * blockdev.PageSize
+		opcode := blockdev.OpRead
+		if o.kind == kWrite {
+			opcode = blockdev.OpWrite
+		}
+		done, err := s.cache.Submit(s.now, blockdev.Request{Op: opcode, Off: first, Len: last - first})
+		if err != nil {
+			return err
+		}
+		s.now = vtime.Max(s.now, done)
+		if s.data != nil {
+			if o.kind == kRead {
+				copy(o.data, s.data[o.off:o.off+o.n])
+			} else if o.data != nil {
+				copy(s.data[o.off:o.off+o.n], o.data)
+			}
+		}
+	case kTrim:
+		first := (o.off + blockdev.PageSize - 1) / blockdev.PageSize * blockdev.PageSize
+		last := (o.off + o.n) / blockdev.PageSize * blockdev.PageSize
+		if last > first {
+			done, err := s.cache.Submit(s.now, blockdev.Request{Op: blockdev.OpTrim, Off: first, Len: last - first})
+			if err != nil {
+				return err
+			}
+			s.now = vtime.Max(s.now, done)
+		}
+		if s.data != nil {
+			for i := o.off; i < o.off+o.n; i++ {
+				s.data[i] = 0
+			}
+		}
+	}
+	return nil
+}
+
+// run is the worker loop: execute batches in arrival order until stop.
+func (s *shard) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for b := range s.q {
+		if b.stop {
+			return
+		}
+		var err error
+		for i := range b.ops {
+			if err = s.exec(&b.ops[i]); err != nil {
+				break
+			}
+		}
+		b.done.fail(err)
+		b.done.finish()
+	}
+}
+
+// table is the immutable routing state: a published table is never
+// mutated; swaps replace the whole pointer.
+type table struct {
+	shards      []*shard
+	stripeBytes int64
+	shardBytes  int64
+	sealed      bool
+}
+
+// route maps a volume byte offset to (shard index, shard-local offset).
+// Stripes rotate round-robin across shards; each shard's stripes pack
+// contiguously into its compact local space.
+func (t *table) route(off int64) (int, int64) {
+	stripe := off / t.stripeBytes
+	sh := int(stripe % int64(len(t.shards)))
+	local := (stripe/int64(len(t.shards)))*t.stripeBytes + off%t.stripeBytes
+	return sh, local
+}
+
+// Engine is the sharded front-end. Zero locks guard the request path: the
+// routing table is read with one atomic load, queues do the hand-off, and
+// shard state is goroutine-confined.
+type Engine struct {
+	opt Options
+	tab atomic.Pointer[table]
+
+	started  atomic.Bool
+	inflight atomic.Int64
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New builds an engine whose shard caches come from build(i). Every
+// shard's primary capacity must be equal and a multiple of the stripe
+// size; the engine volume is their concatenation under stripe routing.
+func New(opt Options, build func(shard int) (*src.Cache, error)) (*Engine, error) {
+	opt = opt.withDefaults()
+	if opt.Shards < 1 {
+		return nil, fmt.Errorf("engine: shard count %d must be positive", opt.Shards)
+	}
+	if opt.StripePages < 1 {
+		return nil, fmt.Errorf("engine: stripe %d pages must be positive", opt.StripePages)
+	}
+	stripeBytes := opt.StripePages * blockdev.PageSize
+	shards := make([]*shard, opt.Shards)
+	var shardBytes int64
+	for i := range shards {
+		c, err := build(i)
+		if err != nil {
+			return nil, fmt.Errorf("engine: building shard %d: %w", i, err)
+		}
+		capBytes := c.Primary().Capacity()
+		if i == 0 {
+			shardBytes = capBytes
+		} else if capBytes != shardBytes {
+			return nil, fmt.Errorf("engine: shard %d capacity %d != shard 0 capacity %d", i, capBytes, shardBytes)
+		}
+		shards[i] = &shard{
+			id:    i,
+			q:     make(chan shardBatch, opt.QueueDepth),
+			cache: c,
+		}
+		if opt.Payload {
+			shards[i].data = make([]byte, capBytes)
+		}
+	}
+	if shardBytes%stripeBytes != 0 {
+		return nil, fmt.Errorf("engine: shard capacity %d not a multiple of stripe %d bytes", shardBytes, stripeBytes)
+	}
+	e := &Engine{opt: opt}
+	e.tab.Store(&table{shards: shards, stripeBytes: stripeBytes, shardBytes: shardBytes})
+	return e, nil
+}
+
+// Shards reports the shard count.
+func (e *Engine) Shards() int { return len(e.tab.Load().shards) }
+
+// Size reports the volume size in bytes (the concatenated shard
+// primaries).
+func (e *Engine) Size() int64 {
+	t := e.tab.Load()
+	return t.shardBytes * int64(len(t.shards))
+}
+
+// Start spawns the shard workers, switching the engine to concurrent mode.
+// After Start the Serial view must not be used.
+func (e *Engine) Start() error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if !e.started.CompareAndSwap(false, true) {
+		return errors.New("engine: already started")
+	}
+	t := e.tab.Load()
+	for _, s := range t.shards {
+		e.wg.Add(1)
+		go s.run(&e.wg)
+	}
+	return nil
+}
+
+// Close seals the routing table, waits for in-flight submissions to drain,
+// stops the workers, and waits for them to exit. Safe to call once.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	old := e.tab.Load()
+	e.tab.Store(&table{shards: old.shards, stripeBytes: old.stripeBytes, shardBytes: old.shardBytes, sealed: true})
+	// New submissions now observe the sealed table and bounce; wait out
+	// the ones that raced past it.
+	for e.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+	if e.started.Load() {
+		for _, s := range old.shards {
+			s.q <- shardBatch{stop: true}
+		}
+		e.wg.Wait()
+	}
+	return nil
+}
+
+// validate bounds-checks one request against the volume.
+func (e *Engine) validate(t *table, req Request) error {
+	size := t.shardBytes * int64(len(t.shards))
+	switch {
+	case req.Op != blockdev.OpRead && req.Op != blockdev.OpWrite && req.Op != blockdev.OpTrim:
+		return fmt.Errorf("engine: bad op %v", req.Op)
+	case req.Len <= 0:
+		return fmt.Errorf("engine: non-positive length %d", req.Len)
+	case req.Off < 0 || req.Off > size-req.Len:
+		return fmt.Errorf("engine: [%d,%d) outside volume %d", req.Off, req.Off+req.Len, size)
+	case req.Data != nil && int64(len(req.Data)) != req.Len:
+		return fmt.Errorf("engine: payload %d bytes != length %d", len(req.Data), req.Len)
+	}
+	return nil
+}
+
+// kindOf maps a block op to the worker vocabulary.
+func kindOf(o blockdev.Op) opKind {
+	switch o {
+	case blockdev.OpRead:
+		return kRead
+	case blockdev.OpWrite:
+		return kWrite
+	default:
+		return kTrim
+	}
+}
+
+// split appends req's shard-local fragments to the per-shard op lists.
+// A request is fragmented only where it crosses a stripe boundary, so with
+// the default 16 MiB stripe almost every request is a single fragment.
+func (t *table) split(req Request, perShard [][]op) {
+	kind := kindOf(req.Op)
+	off, n := req.Off, req.Len
+	data := req.Data
+	for n > 0 {
+		sh, local := t.route(off)
+		frag := t.stripeBytes - off%t.stripeBytes
+		if frag > n {
+			frag = n
+		}
+		o := op{kind: kind, off: local, n: frag}
+		if data != nil {
+			o.data = data[:frag:frag]
+			data = data[frag:]
+		}
+		perShard[sh] = append(perShard[sh], o)
+		off += frag
+		n -= frag
+	}
+}
+
+// submit routes ops to shards and waits for all fragments. Control ops
+// (flush, counters) pass preassembled per-shard lists.
+func (e *Engine) submit(perShard [][]op) error {
+	t := e.tab.Load()
+	if t.sealed {
+		return ErrClosed
+	}
+	parts := int32(0)
+	for _, ops := range perShard {
+		if len(ops) > 0 {
+			parts++
+		}
+	}
+	if parts == 0 {
+		return nil
+	}
+	c := newCompletion(parts)
+	for i, ops := range perShard {
+		if len(ops) > 0 {
+			t.shards[i].q <- shardBatch{ops: ops, done: c}
+		}
+	}
+	return c.wait()
+}
+
+// SubmitBatch executes a batch of requests concurrently across the shards
+// and waits for all of them: one channel send per touched shard, one
+// completion for the whole batch — the client-side half of the batched
+// append design.
+func (e *Engine) SubmitBatch(reqs []Request) error {
+	if !e.started.Load() {
+		return ErrNotStarted
+	}
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
+	t := e.tab.Load()
+	if t.sealed {
+		return ErrClosed
+	}
+	for _, r := range reqs {
+		if err := e.validate(t, r); err != nil {
+			return err
+		}
+	}
+	perShard := make([][]op, len(t.shards))
+	for _, r := range reqs {
+		t.split(r, perShard)
+	}
+	return e.submit(perShard)
+}
+
+// Do executes one request.
+func (e *Engine) Do(req Request) error {
+	return e.SubmitBatch([]Request{req})
+}
+
+// Flush drains every shard's dirty buffers and flushes its SSDs, ordered
+// after all previously submitted batches on each shard queue.
+func (e *Engine) Flush() error {
+	if !e.started.Load() {
+		return ErrNotStarted
+	}
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
+	t := e.tab.Load()
+	if t.sealed {
+		return ErrClosed
+	}
+	perShard := make([][]op, len(t.shards))
+	for i := range perShard {
+		perShard[i] = []op{{kind: kFlush}}
+	}
+	return e.submit(perShard)
+}
+
+// Counters sums the shard caches' counters. The snapshot op is ordered on
+// each shard queue, so every counter reflects a batch boundary; summing
+// across shards is safe because shards share nothing.
+func (e *Engine) Counters() (bench.Counters, error) {
+	if !e.started.Load() {
+		return bench.Counters{}, ErrNotStarted
+	}
+	e.inflight.Add(1)
+	defer e.inflight.Add(-1)
+	t := e.tab.Load()
+	if t.sealed {
+		return bench.Counters{}, ErrClosed
+	}
+	snaps := make([]bench.Counters, len(t.shards))
+	perShard := make([][]op, len(t.shards))
+	for i := range perShard {
+		perShard[i] = []op{{kind: kCounters, snap: &snaps[i]}}
+	}
+	if err := e.submit(perShard); err != nil {
+		return bench.Counters{}, err
+	}
+	return sumCounters(snaps), nil
+}
+
+func sumCounters(snaps []bench.Counters) bench.Counters {
+	var sum bench.Counters
+	for _, c := range snaps {
+		sum.Reads += c.Reads
+		sum.Writes += c.Writes
+		sum.ReadBytes += c.ReadBytes
+		sum.WriteBytes += c.WriteBytes
+		sum.ReadHits += c.ReadHits
+		sum.ReadHitBytes += c.ReadHitBytes
+		sum.FillBytes += c.FillBytes
+		sum.DestageBytes += c.DestageBytes
+		sum.GCCopyBytes += c.GCCopyBytes
+		sum.GCSegments += c.GCSegments
+		sum.MetadataBytes += c.MetadataBytes
+		sum.ParityBytes += c.ParityBytes
+		sum.SSDFlushes += c.SSDFlushes
+	}
+	return sum
+}
+
+// ReadAt implements the netblock.Backend read: it blocks until every
+// fragment completes. Requires Payload mode.
+func (e *Engine) ReadAt(p []byte, off int64) error {
+	return e.Do(Request{Op: blockdev.OpRead, Off: off, Len: int64(len(p)), Data: p})
+}
+
+// WriteAt implements the netblock.Backend write.
+func (e *Engine) WriteAt(p []byte, off int64) error {
+	return e.Do(Request{Op: blockdev.OpWrite, Off: off, Len: int64(len(p)), Data: p})
+}
+
+// Trim implements the netblock.Backend trim.
+func (e *Engine) Trim(off, n int64) error {
+	return e.Do(Request{Op: blockdev.OpTrim, Off: off, Len: n})
+}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"srccache/internal/bench"
+	"srccache/internal/blockdev"
+	"srccache/internal/vtime"
+)
+
+// Serial is the deterministic virtual-time view of an engine: the same
+// routing table and shard caches, driven inline on the caller's goroutine
+// with no queues and no wall clock. It implements bench.Cache, so the
+// experiment engine can drive a sharded volume exactly as it drives a flat
+// one — byte-identical across runs, because nothing here depends on
+// scheduling.
+//
+// Serial and concurrent mode are exclusive: once Start hands shard
+// ownership to the workers, serial calls are refused.
+type Serial struct {
+	e *Engine
+}
+
+var _ bench.Cache = (*Serial)(nil)
+
+// Serial returns the deterministic view.
+func (e *Engine) Serial() *Serial { return &Serial{e: e} }
+
+// Submit routes the request through the same table/split machinery as the
+// concurrent path and executes each fragment inline. Completion is the
+// latest fragment completion; each shard's clock stays independently
+// monotonic, exactly as in concurrent mode.
+func (s *Serial) Submit(at vtime.Time, req blockdev.Request) (vtime.Time, error) {
+	if s.e.started.Load() {
+		return at, ErrStarted
+	}
+	t := s.e.tab.Load()
+	r := Request{Op: req.Op, Off: req.Off, Len: req.Len}
+	if err := s.e.validate(t, r); err != nil {
+		return at, err
+	}
+	perShard := make([][]op, len(t.shards))
+	t.split(r, perShard)
+	done := at
+	for i, ops := range perShard {
+		sh := t.shards[i]
+		if sh.now < at {
+			sh.now = at
+		}
+		for j := range ops {
+			if err := sh.exec(&ops[j]); err != nil {
+				return done, err
+			}
+		}
+		done = vtime.Max(done, sh.now)
+	}
+	return done, nil
+}
+
+// Flush drains and flushes every shard.
+func (s *Serial) Flush(at vtime.Time) (vtime.Time, error) {
+	if s.e.started.Load() {
+		return at, ErrStarted
+	}
+	t := s.e.tab.Load()
+	done := at
+	for _, sh := range t.shards {
+		if sh.now < at {
+			sh.now = at
+		}
+		o := op{kind: kFlush}
+		if err := sh.exec(&o); err != nil {
+			return done, err
+		}
+		done = vtime.Max(done, sh.now)
+	}
+	return done, nil
+}
+
+// Counters sums the shard counters.
+func (s *Serial) Counters() bench.Counters {
+	t := s.e.tab.Load()
+	snaps := make([]bench.Counters, len(t.shards))
+	for i, sh := range t.shards {
+		snaps[i] = sh.cache.Counters()
+	}
+	return sumCounters(snaps)
+}
+
+// CacheDevices concatenates every shard's SSDs, for device-level traffic
+// accounting.
+func (s *Serial) CacheDevices() []blockdev.Device {
+	t := s.e.tab.Load()
+	var devs []blockdev.Device
+	for _, sh := range t.shards {
+		devs = append(devs, sh.cache.CacheDevices()...)
+	}
+	return devs
+}
+
+// ShardCounters reports one shard's counters, for per-shard assertions.
+func (s *Serial) ShardCounters(i int) bench.Counters {
+	return s.e.tab.Load().shards[i].cache.Counters()
+}

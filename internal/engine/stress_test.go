@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"srccache/internal/blockdev"
+)
+
+// TestStressConcurrentIntegrity hammers an 8-shard payload engine from
+// many client goroutines mixing reads, writes, trims, flushes, and counter
+// snapshots, under -race in the tier-1 run. It asserts:
+//
+//   - the routing table is never torn: every load observes the identical
+//     published pointer until Close seals it;
+//   - counters stay coherent: summed shard counters account for exactly
+//     the pages the clients submitted (shards share nothing, so nothing
+//     can be double-counted or lost);
+//   - payload stays correct: each client owns a disjoint region, so its
+//     final reads must observe its own last writes despite the shared
+//     queues and interleaved flushes.
+func TestStressConcurrentIntegrity(t *testing.T) {
+	const (
+		shards     = 8
+		clients    = 8
+		opsPerCli  = 1500
+		regionSize = int64(1 << 20)
+	)
+	build, err := MemShardBuilder(ShardSpec{
+		ShardBytes:     regionSize, // volume = shards MiB, one region per client
+		EraseGroupSize: 256 << 10,
+		SegmentColumn:  16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Options{Shards: shards, StripePages: 16, Payload: true}, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(clients)*regionSize != e.Size() {
+		t.Fatalf("volume %d does not split into %d client regions", e.Size(), clients)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	tabBefore := e.tab.Load()
+
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+		// pages written/read/trimmed per client, page-rounded the same way
+		// the engine accounts them.
+		wantReads, wantWrites int64
+		errs                  []error
+	)
+	refs := make([][]byte, clients)
+	for c := 0; c < clients; c++ {
+		refs[c] = make([]byte, regionSize)
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) + 1))
+			base := int64(id) * regionSize
+			ref := refs[id]
+			var reads, writes int64
+			fail := func(err error) {
+				mu.Lock()
+				errs = append(errs, fmt.Errorf("client %d: %w", id, err))
+				mu.Unlock()
+			}
+			for i := 0; i < opsPerCli; i++ {
+				off := rng.Int63n(regionSize - 1)
+				n := 1 + rng.Int63n(min64(64<<10, regionSize-off))
+				firstPage := (base + off) / blockdev.PageSize
+				lastPage := (base + off + n + blockdev.PageSize - 1) / blockdev.PageSize
+				switch rng.Intn(10) {
+				case 0: // flush rides along with data traffic
+					if err := e.Flush(); err != nil {
+						fail(err)
+						return
+					}
+				case 1, 2, 3:
+					p := make([]byte, n)
+					if err := e.ReadAt(p, base+off); err != nil {
+						fail(err)
+						return
+					}
+					if !bytes.Equal(p, ref[off:off+n]) {
+						fail(fmt.Errorf("read [%d,%d) diverges from this client's writes", off, off+n))
+						return
+					}
+					reads += lastPage - firstPage
+				default:
+					p := make([]byte, n)
+					rng.Read(p)
+					if err := e.WriteAt(p, base+off); err != nil {
+						fail(err)
+						return
+					}
+					copy(ref[off:off+n], p)
+					writes += lastPage - firstPage
+				}
+				if i%500 == 250 {
+					if _, err := e.Counters(); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+			mu.Lock()
+			wantReads += reads
+			wantWrites += writes
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		t.Fatal(errs[0])
+	}
+
+	if tabAfter := e.tab.Load(); tabAfter != tabBefore {
+		t.Fatal("routing table was swapped during steady-state operation")
+	}
+
+	got, err := e.Counters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reads != wantReads {
+		t.Fatalf("summed shard read pages %d, clients submitted %d", got.Reads, wantReads)
+	}
+	if got.Writes != wantWrites {
+		t.Fatalf("summed shard write pages %d, clients submitted %d", got.Writes, wantWrites)
+	}
+	if got.ReadHits > got.Reads {
+		t.Fatalf("hits %d exceed reads %d", got.ReadHits, got.Reads)
+	}
+
+	// Final payload check per client region, through the engine.
+	for c := 0; c < clients; c++ {
+		p := make([]byte, regionSize)
+		if err := e.ReadAt(p, int64(c)*regionSize); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(p, refs[c]) {
+			t.Fatalf("client %d region diverges after stress", c)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.tab.Load().sealed {
+		t.Fatal("close did not seal the routing table")
+	}
+}

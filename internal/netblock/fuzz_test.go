@@ -1,0 +1,90 @@
+package netblock
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// header assembles a 17-byte request header from its fields; the fuzz
+// corpora below seed the interesting boundary frames and the engine mutates
+// from there.
+func header(magic uint32, op uint8, off uint64, length uint32) []byte {
+	var hdr [17]byte
+	binary.BigEndian.PutUint32(hdr[0:], magic)
+	hdr[4] = op
+	binary.BigEndian.PutUint64(hdr[5:], off)
+	binary.BigEndian.PutUint32(hdr[13:], length)
+	return hdr[:]
+}
+
+// FuzzReadRequest throws arbitrary byte streams at the frame decoder. The
+// decoder must never panic, and an accepted frame must satisfy the
+// invariants the server relies on: bounded length, payload fully read for
+// writes, nil payload otherwise.
+func FuzzReadRequest(f *testing.F) {
+	f.Add(header(reqMagic, opRead, 0, 4096))
+	f.Add(header(reqMagic, opRead, 1<<63, 4096))          // the remote-panic seed
+	f.Add(header(reqMagic, opWrite, ^uint64(0)-100, 200)) // off+length uint64 wrap
+	f.Add(header(reqMagic, opTrim, 1<<62, MaxPayload))
+	f.Add(header(reqMagic, opWrite, 0, MaxPayload+1)) // oversized length
+	f.Add(append(header(reqMagic, opWrite, 8, 4), 'd', 'a', 't', 'a'))
+	f.Add(header(0xdeadbeef, opRead, 0, 0)) // bad magic
+	f.Add([]byte("short"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := readRequest(bytes.NewReader(data))
+		if err != nil {
+			if req != nil {
+				t.Fatalf("error %v returned non-nil request", err)
+			}
+			return
+		}
+		if req.length > MaxPayload {
+			t.Fatalf("accepted length %d over MaxPayload", req.length)
+		}
+		if req.op == opWrite && uint32(len(req.payload)) != req.length {
+			t.Fatalf("write payload %d bytes, header said %d", len(req.payload), req.length)
+		}
+		if req.op != opWrite && req.payload != nil {
+			t.Fatalf("non-write op %d carried payload", req.op)
+		}
+	})
+}
+
+// FuzzHandle drives the full server request loop with arbitrary frames,
+// proving no 17-byte header — hostile offsets, wrapped lengths, unknown
+// ops — can panic the server or corrupt its framing: every byte the server
+// emits must parse as well-formed responses.
+func FuzzHandle(f *testing.F) {
+	f.Add(header(reqMagic, opRead, 0, 4096))
+	f.Add(header(reqMagic, opRead, 1<<63, 4096)) // the remote-panic regression seed
+	f.Add(header(reqMagic, opWrite, ^uint64(0)-4095, 4096))
+	f.Add(header(reqMagic, opTrim, ^uint64(0), ^uint32(0)&(MaxPayload-1)))
+	f.Add(header(reqMagic, opSize, 1<<63, 0))
+	f.Add(header(reqMagic, 0xff, 123, 1)) // unknown op
+	f.Add(append(header(reqMagic, opWrite, 0, 8), []byte("payload!")...))
+	f.Add(append(header(reqMagic, opRead, 4096, 16), header(reqMagic, opRead, 1<<63, 1)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv, err := NewServer(64 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		// ServeConn returns an error only for protocol violations; it must
+		// never panic regardless of input.
+		_ = srv.ServeConn(rwPair{bytes.NewReader(data), &out})
+		for {
+			status, _, err := readResponse(&out)
+			if err != nil {
+				if err == io.EOF {
+					break
+				}
+				t.Fatalf("server emitted unparseable response bytes: %v", err)
+			}
+			if status != statusOK && status != statusErr {
+				t.Fatalf("server emitted unknown status %d", status)
+			}
+		}
+	})
+}

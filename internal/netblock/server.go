@@ -7,10 +7,62 @@ import (
 	"io"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 )
 
-// Server exports one in-memory volume to any number of concurrent clients.
+// Backend is the storage a Server exports. The flat in-memory volume
+// (NewServer) is the simplest implementation; cmd/netblockd can instead
+// serve a sharded engine volume. Implementations must be safe for
+// concurrent use: the server calls them from one goroutine per connection.
+type Backend interface {
+	// ReadAt fills p from [off, off+len(p)). The range is validated by the
+	// server before the call.
+	ReadAt(p []byte, off int64) error
+	// WriteAt stores p at [off, off+len(p)).
+	WriteAt(p []byte, off int64) error
+	// Trim zeroes (discards) [off, off+n).
+	Trim(off, n int64) error
+	// Flush makes acknowledged writes durable (a barrier for in-memory
+	// backends).
+	Flush() error
+	// Size reports the volume size in bytes.
+	Size() int64
+}
+
+// memBackend is the default flat in-memory volume behind one RWMutex — the
+// serialized single-shard path the engine benchmark uses as its baseline.
+type memBackend struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+func (b *memBackend) ReadAt(p []byte, off int64) error {
+	b.mu.RLock()
+	copy(p, b.data[off:off+int64(len(p))])
+	b.mu.RUnlock()
+	return nil
+}
+
+func (b *memBackend) WriteAt(p []byte, off int64) error {
+	b.mu.Lock()
+	copy(b.data[off:off+int64(len(p))], p)
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *memBackend) Trim(off, n int64) error {
+	b.mu.Lock()
+	zero(b.data[off : off+n])
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *memBackend) Flush() error { return nil }
+
+func (b *memBackend) Size() int64 { return int64(len(b.data)) }
+
+// Server exports one volume to any number of concurrent clients.
 type Server struct {
 	// IdleTimeout, when positive, bounds how long a connection may sit
 	// between requests (and how long one response write may take) before
@@ -22,8 +74,7 @@ type Server struct {
 	// before Listen.
 	DrainGrace time.Duration
 
-	mu   sync.RWMutex
-	data []byte
+	backend Backend
 
 	lis      net.Listener
 	wg       sync.WaitGroup
@@ -32,22 +83,34 @@ type Server struct {
 
 	cmu   sync.Mutex
 	conns map[net.Conn]struct{}
+
+	emu       sync.Mutex
+	listenErr error // terminal accept-loop failure, surfaced by Close
 }
 
-// NewServer creates a server exporting a zeroed volume of size bytes.
+// NewServer creates a server exporting a zeroed in-memory volume of size
+// bytes.
 func NewServer(size int64) (*Server, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("netblock: volume size %d must be positive", size)
 	}
+	return NewServerWith(&memBackend{data: make([]byte, size)})
+}
+
+// NewServerWith creates a server exporting an arbitrary backend.
+func NewServerWith(b Backend) (*Server, error) {
+	if b == nil || b.Size() <= 0 {
+		return nil, errors.New("netblock: backend required with positive size")
+	}
 	return &Server{
-		data:     make([]byte, size),
+		backend:  b,
 		shutdown: make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 	}, nil
 }
 
 // Size reports the exported volume size.
-func (s *Server) Size() int64 { return int64(len(s.data)) }
+func (s *Server) Size() int64 { return s.backend.Size() }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address. Serving happens on background goroutines until
@@ -63,18 +126,44 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	return lis.Addr(), nil
 }
 
+// acceptBackoffMax caps the retry delay after temporary Accept failures.
+const acceptBackoffMax = time.Second
+
+// acceptLoop accepts until shutdown. Temporary failures (file-descriptor
+// exhaustion, aborted handshakes) are retried with exponential backoff
+// capped at acceptBackoffMax; any other failure is terminal and recorded
+// for Close to report — a silently dead listener must not look healthy.
 func (s *Server) acceptLoop(lis net.Listener) {
 	defer s.wg.Done()
+	var delay time.Duration
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
-			select {
-			case <-s.shutdown:
+			if s.draining() {
 				return
-			default:
-				return // listener failed
 			}
+			if temporaryAcceptError(err) {
+				if delay == 0 {
+					delay = 5 * time.Millisecond
+				} else {
+					delay *= 2
+					if delay > acceptBackoffMax {
+						delay = acceptBackoffMax
+					}
+				}
+				select {
+				case <-time.After(delay):
+					continue
+				case <-s.shutdown:
+					return
+				}
+			}
+			s.emu.Lock()
+			s.listenErr = fmt.Errorf("netblock: accept loop terminated: %w", err)
+			s.emu.Unlock()
+			return
 		}
+		delay = 0
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -84,6 +173,19 @@ func (s *Server) acceptLoop(lis net.Listener) {
 			_ = s.ServeConn(conn)
 		}()
 	}
+}
+
+// temporaryAcceptError reports whether an Accept failure is worth retrying:
+// resource exhaustion and connection aborts pass transiently; anything else
+// (listener closed, fatal socket state) is terminal.
+func temporaryAcceptError(err error) bool {
+	if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EINTR) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 func (s *Server) track(conn net.Conn) {
@@ -100,7 +202,8 @@ func (s *Server) untrack(conn net.Conn) {
 
 // Close stops the listener and waits for in-flight connections to drain: a
 // connection mid-request gets DrainGrace to finish; one idle between
-// requests is interrupted at the same deadline and exits cleanly.
+// requests is interrupted at the same deadline and exits cleanly. If the
+// accept loop died earlier on a non-temporary error, Close reports it.
 func (s *Server) Close() error {
 	var err error
 	s.once.Do(func() {
@@ -116,7 +219,9 @@ func (s *Server) Close() error {
 		s.cmu.Unlock()
 	})
 	s.wg.Wait()
-	return err
+	s.emu.Lock()
+	defer s.emu.Unlock()
+	return errors.Join(err, s.listenErr)
 }
 
 // deadliner is the deadline surface of net.Conn; ServeConn applies
@@ -168,36 +273,45 @@ func (s *Server) draining() bool {
 	}
 }
 
+// handle executes one request. Range validation happens entirely in uint64
+// space: off and length are client-controlled, and converting to int64
+// first lets an offset above 2^63 go negative, pass an int64 comparison,
+// and panic the slice expression — one hostile frame killing the whole
+// process. `off > size || length > size-off` cannot overflow (off <= size
+// holds before the subtraction) and rejects every out-of-range request,
+// including off+length wrapping uint64.
 func (s *Server) handle(conn io.Writer, req *request) error {
-	end := int64(req.off) + int64(req.length)
 	if req.op != opSize && req.op != opFlush {
-		if int64(req.off) > s.Size() || end > s.Size() || end < int64(req.off) {
+		size := uint64(s.backend.Size())
+		if req.off > size || uint64(req.length) > size-req.off {
 			return writeResponse(conn, statusErr, []byte("out of range"))
 		}
 	}
 	switch req.op {
 	case opRead:
 		buf := make([]byte, req.length)
-		s.mu.RLock()
-		copy(buf, s.data[req.off:end])
-		s.mu.RUnlock()
+		if err := s.backend.ReadAt(buf, int64(req.off)); err != nil {
+			return writeResponse(conn, statusErr, []byte(err.Error()))
+		}
 		return writeResponse(conn, statusOK, buf)
 	case opWrite:
-		s.mu.Lock()
-		copy(s.data[req.off:end], req.payload)
-		s.mu.Unlock()
+		if err := s.backend.WriteAt(req.payload, int64(req.off)); err != nil {
+			return writeResponse(conn, statusErr, []byte(err.Error()))
+		}
 		return writeResponse(conn, statusOK, nil)
 	case opTrim:
-		s.mu.Lock()
-		zero(s.data[req.off:end])
-		s.mu.Unlock()
+		if err := s.backend.Trim(int64(req.off), int64(req.length)); err != nil {
+			return writeResponse(conn, statusErr, []byte(err.Error()))
+		}
 		return writeResponse(conn, statusOK, nil)
 	case opFlush:
-		// The volume is memory-backed: flush is a barrier only.
+		if err := s.backend.Flush(); err != nil {
+			return writeResponse(conn, statusErr, []byte(err.Error()))
+		}
 		return writeResponse(conn, statusOK, nil)
 	case opSize:
 		var buf [8]byte
-		binary.BigEndian.PutUint64(buf[:], uint64(s.Size()))
+		binary.BigEndian.PutUint64(buf[:], uint64(s.backend.Size()))
 		return writeResponse(conn, statusOK, buf[:])
 	default:
 		return writeResponse(conn, statusErr, []byte("unknown op"))

@@ -104,6 +104,29 @@ func (h *Histogram) Percentile(p float64) vtime.Duration {
 	return h.max
 }
 
+// Summary is the fixed quantile digest the benchmark trajectory records:
+// the latency shape of one run in six numbers.
+type Summary struct {
+	Count int64
+	Mean  vtime.Duration
+	P50   vtime.Duration
+	P99   vtime.Duration
+	P999  vtime.Duration
+	Max   vtime.Duration
+}
+
+// Summarize extracts the digest.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+		Max:   h.Max(),
+	}
+}
+
 // Merge adds o's observations into h.
 func (h *Histogram) Merge(o *Histogram) {
 	for i := range h.counts {
