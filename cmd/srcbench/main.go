@@ -33,7 +33,7 @@ import (
 	"sync"
 	"time"
 
-	"srccache/internal/engine"
+	"srccache/internal/engine/wallbench"
 	"srccache/internal/experiments"
 )
 
@@ -138,7 +138,7 @@ type benchFlags struct {
 // runBench executes the wall-clock engine suite and emits one
 // BENCH_<n>.json trajectory point.
 func runBench(stdout io.Writer, f benchFlags) error {
-	cfg := engine.BenchConfig{
+	cfg := wallbench.BenchConfig{
 		Span:     f.span,
 		Requests: f.requests,
 		Clients:  f.clients,
@@ -158,7 +158,7 @@ func runBench(stdout io.Writer, f benchFlags) error {
 	if !f.verbose {
 		progress = nil
 	}
-	res, err := engine.RunBenchSuite(cfg, progress)
+	res, err := wallbench.RunBenchSuite(cfg, progress)
 	if err != nil {
 		return err
 	}

@@ -1,16 +1,25 @@
-// Command srclint checks this repository's determinism, I/O-error and
-// flush-epoch contracts (DESIGN.md §8):
+// Command srclint checks this repository's determinism, I/O-error,
+// flush-epoch and concurrency contracts (DESIGN.md §8):
 //
-//	wallclock   simulation packages must use internal/vtime, never the host clock
-//	seededrand  randomness comes from injected seeded *rand.Rand values only
-//	maprange    map iteration order must not reach slices or writers unsorted
-//	ioerr       blockdev/raid I/O errors must never be discarded
-//	errpath     an error bound from a blockdev/raid call must be read on every path
-//	lockheld    no sync.Mutex/RWMutex held across blockdev/raid/netblock I/O
-//	flushepoch  //srclint:contract flush functions drain/flush on every success path
+//	wallclock    simulation packages must use internal/vtime, never the host clock
+//	seededrand   randomness comes from injected seeded *rand.Rand values only
+//	maprange     map iteration order must not reach slices or writers unsorted
+//	ioerr        blockdev/raid I/O errors must never be discarded
+//	errpath      an error bound from a blockdev/raid call must be read on every path
+//	lockheld     no sync.Mutex/RWMutex held across blockdev/raid/netblock I/O
+//	flushepoch   //srclint:contract flush functions drain/flush on every success path
+//	confined     //srclint:confined fields reached only from their owner goroutine
+//	             or behind a //srclint:handoff guard
+//	atomicfreeze values published via atomic.Pointer/atomic.Value are frozen
+//	chandisc     no send after close, close only from the //srclint:owns owner,
+//	             no receive on a self-closed channel
 //
-// The last three are path-sensitive: they run over per-function control-flow
-// graphs (internal/analysis/cfg) rather than the bare syntax tree.
+// errpath, lockheld and flushepoch are path-sensitive: they run over
+// per-function control-flow graphs (internal/analysis/cfg). confined,
+// atomicfreeze and chandisc are additionally interprocedural: they run
+// over the package call graph (internal/analysis/callgraph — static call,
+// go and defer edges with function-value flow and per-function effect
+// summaries).
 //
 // Run standalone (srclint ./...), with -json for machine-readable NDJSON
 // findings on stdout, or as a vet tool:
@@ -20,16 +29,18 @@
 //
 // Suppress an individual finding with //srclint:allow <check>[,<check>...]
 // [reason] on or directly above the offending line; a directive that
-// suppresses nothing is itself reported (staleallow). Mark a function whose
-// success paths must reach a drain/flush call — summary commits, group
-// reuse, rebuild completion — with //srclint:contract flush in its doc
-// comment; flushepoch then enforces the flush-epoch invariant statically.
+// suppresses nothing is itself reported (staleallow). The annotation
+// grammar for the contracts (//srclint:contract flush, //srclint:confined,
+// //srclint:handoff, //srclint:owns) is documented in DESIGN.md §8.
 package main
 
 import (
 	"os"
 
 	"srccache/internal/analysis"
+	"srccache/internal/analysis/atomicfreeze"
+	"srccache/internal/analysis/chandisc"
+	"srccache/internal/analysis/confined"
 	"srccache/internal/analysis/driver"
 	"srccache/internal/analysis/errpath"
 	"srccache/internal/analysis/flushepoch"
@@ -49,5 +60,8 @@ func main() {
 		errpath.Analyzer,
 		lockheld.Analyzer,
 		flushepoch.Analyzer,
+		confined.Analyzer,
+		atomicfreeze.Analyzer,
+		chandisc.Analyzer,
 	}))
 }

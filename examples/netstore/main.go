@@ -39,22 +39,24 @@ func run() error {
 	defer srv.Close()
 	fmt.Printf("netblock server exporting %d MiB on %s\n", int64(volumeSize)>>20, addr)
 
-	// Concurrent writers, each owning a disjoint region.
+	// Concurrent writers, each owning a disjoint region. Each writes its
+	// error to its own slot — no shared channel to close and drain.
 	var wg sync.WaitGroup
-	errs := make(chan error, clients)
+	errs := make([]error, clients)
 	for id := 0; id < clients; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			if err := writerClient(addr.String(), id); err != nil {
-				errs <- fmt.Errorf("client %d: %w", id, err)
+				errs[id] = fmt.Errorf("client %d: %w", id, err)
 			}
 		}(id)
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		return err
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("%d clients wrote %d MiB total\n", clients,
 		int64(clients*blocksEach*blockSize)>>20)

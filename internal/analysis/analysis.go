@@ -204,6 +204,38 @@ func isCheckName(s string) bool {
 	return true
 }
 
+// Directive scans a comment group for a "//srclint:<name>" marker and
+// returns the text following the marker (trimmed), e.g. the owner list of
+// an //srclint:owns directive. The marker matches exactly: //srclint:owns
+// does not match name "own".
+func Directive(cg *ast.CommentGroup, name string) (args string, ok bool) {
+	if cg == nil {
+		return "", false
+	}
+	prefix := "//srclint:" + name
+	for _, c := range cg.List {
+		rest, found := strings.CutPrefix(c.Text, prefix)
+		if !found {
+			continue
+		}
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue // longer marker, e.g. //srclint:ownsomething
+		}
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
+}
+
+// FieldDirective scans a struct field's doc comment and trailing line
+// comment for a "//srclint:<name>" marker (the annotation grammar of the
+// confined/chandisc analyzers, DESIGN.md §8).
+func FieldDirective(f *ast.Field, name string) (args string, ok bool) {
+	if args, ok = Directive(f.Doc, name); ok {
+		return args, true
+	}
+	return Directive(f.Comment, name)
+}
+
 // Callee resolves the function or method a call expression invokes: method
 // values (including interface methods) via info.Selections, plain and
 // package-qualified calls via info.Uses. It returns nil for calls through
@@ -270,6 +302,8 @@ var SimPackages = []string{
 	"internal/hdd",
 	"internal/chaos",
 	"internal/torture",
+	"internal/stats",
+	"internal/engine",
 }
 
 // RandPackages extends SimPackages with the packages that generate

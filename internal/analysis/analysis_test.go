@@ -134,3 +134,75 @@ var a = 1 //srclint:allow wallclock B ioerr
 		t.Error("check name inside reason text was honored")
 	}
 }
+
+// parseStruct returns the fields of the first struct type in src.
+func parseStruct(t *testing.T, src string) []*ast.Field {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "ann.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var fields []*ast.Field
+	ast.Inspect(f, func(x ast.Node) bool {
+		if st, ok := x.(*ast.StructType); ok && fields == nil {
+			fields = st.Fields.List
+		}
+		return true
+	})
+	if fields == nil {
+		t.Fatal("no struct in source")
+	}
+	return fields
+}
+
+func TestFieldDirective(t *testing.T) {
+	fields := parseStruct(t, `package p
+
+type s struct {
+	// cache is worker state.
+	//srclint:confined run,flush (free-form prose after the list)
+	cache map[int]int
+	done  chan struct{} //srclint:owns Close
+	plain int
+	near  int //srclint:ownsmore Close
+}
+`)
+	if args, ok := FieldDirective(fields[0], "confined"); !ok {
+		t.Error("doc-comment directive not found")
+	} else if args != "run,flush (free-form prose after the list)" {
+		t.Errorf("confined args = %q", args)
+	}
+	if args, ok := FieldDirective(fields[1], "owns"); !ok || args != "Close" {
+		t.Errorf("line-comment directive = %q, %v", args, ok)
+	}
+	if _, ok := FieldDirective(fields[2], "owns"); ok {
+		t.Error("unannotated field matched")
+	}
+	// The marker must match exactly: //srclint:ownsmore is not //srclint:owns.
+	if _, ok := FieldDirective(fields[3], "owns"); ok {
+		t.Error("directive prefix matched a longer marker")
+	}
+}
+
+func TestDirectiveHelper(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", `package p
+
+//srclint:handoff
+var flag int
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd := f.Decls[0].(*ast.GenDecl)
+	if args, ok := Directive(gd.Doc, "handoff"); !ok || args != "" {
+		t.Errorf("bare directive = %q, %v", args, ok)
+	}
+	if _, ok := Directive(gd.Doc, "hand"); ok {
+		t.Error("shorter marker matched //srclint:handoff")
+	}
+	if _, ok := Directive(nil, "handoff"); ok {
+		t.Error("nil comment group matched")
+	}
+}

@@ -1,0 +1,370 @@
+// Package atomicfreeze defines an srclint analyzer enforcing the
+// publish-then-freeze contract on sync/atomic.Pointer[T] and atomic.Value:
+// a value is published the moment it is passed to Store / Swap /
+// CompareAndSwap, and observed via Load — from then on it is immutable.
+// Writes through the published pointer, or through locals that alias it on
+// any CFG path after the publish, are findings. The correct idiom is
+// copy-on-write: build a fresh value, then swap the pointer (the engine's
+// routing-table seal at Close is the canonical site).
+//
+// The check is interprocedural in both directions: a local bound from a
+// function that *returns* a published value is frozen too, and passing a
+// frozen value to a package-local function that writes through that
+// parameter (per the callgraph mutation summaries) is a finding at the
+// call site.
+//
+// Freezing is shallow: it covers the published allocation reached through
+// the pointer (field writes, element writes, copy/clear/delete through
+// it), not values obtained by loading *further* pointers out of it —
+// goroutine confinement of such inner state is the confined analyzer's
+// contract.
+package atomicfreeze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"srccache/internal/analysis"
+	"srccache/internal/analysis/callgraph"
+	"srccache/internal/analysis/cfg"
+)
+
+// Analyzer is the publish-then-freeze check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfreeze",
+	Doc:  "values published via atomic.Pointer/atomic.Value must not be written through afterwards",
+	Run:  run,
+}
+
+// atomicKind classifies a call to a sync/atomic publish/observe method.
+type atomicKind int
+
+const (
+	notAtomic atomicKind = iota
+	atomicLoad
+	atomicPublish // Store / Swap / CompareAndSwap
+)
+
+// classify recognizes method calls on atomic.Pointer[T] and atomic.Value
+// and returns the argument expression being published (nil for Load).
+func classify(info *types.Info, call *ast.CallExpr) (atomicKind, ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return notAtomic, nil
+	}
+	var fn *types.Func
+	if s := info.Selections[sel]; s != nil {
+		fn, _ = s.Obj().(*types.Func)
+	}
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return notAtomic, nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return notAtomic, nil
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return notAtomic, nil
+	}
+	switch named.Obj().Name() {
+	case "Pointer", "Value":
+	default:
+		return notAtomic, nil // Int32/Bool/... hold value copies, nothing to freeze
+	}
+	switch fn.Name() {
+	case "Load":
+		return atomicLoad, nil
+	case "Store", "Swap":
+		if len(call.Args) == 1 {
+			return atomicPublish, call.Args[0]
+		}
+	case "CompareAndSwap":
+		if len(call.Args) == 2 {
+			return atomicPublish, call.Args[1]
+		}
+	}
+	return notAtomic, nil
+}
+
+type freezeChecker struct {
+	pass    *analysis.Pass
+	graph   *callgraph.Graph
+	returns map[*callgraph.Node]bool // node may return a frozen value
+}
+
+func run(pass *analysis.Pass) error {
+	g := callgraph.Build(pass.Fset, pass.Files, pass.TypesInfo)
+	g.ComputeSummaries()
+	c := &freezeChecker{pass: pass, graph: g, returns: make(map[*callgraph.Node]bool)}
+
+	// Pass 1: which functions may return a frozen value? SCC order,
+	// fixpoint within each component, so f() { return g() } converges.
+	for _, scc := range g.SCCs() {
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				if c.returns[n] {
+					continue
+				}
+				if c.returnsFrozen(n) {
+					c.returns[n] = true
+					changed = true
+				}
+			}
+		}
+	}
+	// Pass 2: report writes through frozen values.
+	for _, n := range g.Nodes {
+		c.checkNode(n)
+	}
+	return nil
+}
+
+// solve runs the alias dataflow for one node: facts are the types.Objects
+// of locals currently holding a published value. May-analysis: a write
+// through a value frozen on any path is a finding.
+func (c *freezeChecker) solve(n *callgraph.Node) (*cfg.Graph, cfg.Problem, map[*cfg.Block]cfg.Facts) {
+	body := n.Body()
+	if body == nil {
+		return nil, cfg.Problem{}, nil
+	}
+	p := cfg.Problem{Transfer: func(x ast.Node, facts cfg.Facts) {
+		c.transfer(x, facts)
+	}}
+	g := cfg.New(body)
+	return g, p, cfg.Solve(g, p)
+}
+
+// transfer applies one statement's gen/kill effects.
+func (c *freezeChecker) transfer(x ast.Node, facts cfg.Facts) {
+	switch s := x.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) == len(s.Rhs) {
+			for i, lhs := range s.Lhs {
+				c.assign(lhs, c.frozenExpr(s.Rhs[i], facts), facts)
+			}
+		} else if len(s.Rhs) == 1 {
+			// a, b := f() — every binding inherits the call's frozen-ness.
+			frozen := c.frozenExpr(s.Rhs[0], facts)
+			for _, lhs := range s.Lhs {
+				c.assign(lhs, frozen, facts)
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						c.assignObj(c.pass.TypesInfo.Defs[name], c.frozenExpr(vs.Values[i], facts), facts)
+					}
+				}
+			}
+		}
+	}
+	// Publish sites gen their argument object wherever they appear.
+	stmtCalls(x, func(call *ast.CallExpr) {
+		if kind, arg := classify(c.pass.TypesInfo, call); kind == atomicPublish {
+			if obj := c.graph.ValueObj(arg); obj != nil {
+				facts[obj] = true
+			}
+		}
+	})
+}
+
+func (c *freezeChecker) assign(lhs ast.Expr, frozen bool, facts cfg.Facts) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		obj := c.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Uses[id]
+		}
+		c.assignObj(obj, frozen, facts)
+	}
+}
+
+func (c *freezeChecker) assignObj(obj types.Object, frozen bool, facts cfg.Facts) {
+	if obj == nil {
+		return
+	}
+	if frozen {
+		facts[obj] = true
+	} else {
+		delete(facts, obj)
+	}
+}
+
+// frozenExpr reports whether evaluating e yields a published value: a
+// frozen local, a direct atomic Load, or a call to a function that returns
+// a frozen value.
+func (c *freezeChecker) frozenExpr(e ast.Expr, facts cfg.Facts) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := c.graph.ValueObj(e); obj != nil {
+			return facts[obj]
+		}
+	case *ast.TypeAssertExpr: // v.Load().(*T) — the atomic.Value idiom
+		return c.frozenExpr(e.X, facts)
+	case *ast.CallExpr:
+		if kind, _ := classify(c.pass.TypesInfo, e); kind == atomicLoad {
+			return true
+		}
+		for _, callee := range c.graph.Callees(e) {
+			if c.returns[callee] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// returnsFrozen reports whether any return statement of n may return a
+// frozen value under the current returns map.
+func (c *freezeChecker) returnsFrozen(n *callgraph.Node) bool {
+	g, p, ins := c.solve(n)
+	if g == nil {
+		return false
+	}
+	found := false
+	cfg.Visit(g, p, ins, func(x ast.Node, before cfg.Facts) {
+		ret, ok := x.(*ast.ReturnStmt)
+		if !ok || found {
+			return
+		}
+		for _, res := range ret.Results {
+			if c.frozenExpr(res, before) {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// checkNode reports every write through a frozen value in n.
+func (c *freezeChecker) checkNode(n *callgraph.Node) {
+	g, p, ins := c.solve(n)
+	if g == nil {
+		return
+	}
+	cfg.Visit(g, p, ins, func(x ast.Node, before cfg.Facts) {
+		switch s := x.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				c.checkWrite(lhs, before)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(s.X, before)
+		}
+		stmtCalls(x, func(call *ast.CallExpr) {
+			c.checkCall(call, before)
+		})
+	})
+}
+
+// checkWrite flags an lvalue that writes through a frozen root.
+func (c *freezeChecker) checkWrite(lhs ast.Expr, facts cfg.Facts) {
+	root, through := lvalueRoot(lhs)
+	if !through {
+		return // plain rebinding; transfer handles the kill
+	}
+	switch r := root.(type) {
+	case *ast.Ident:
+		obj := c.graph.ValueObj(r)
+		if obj != nil && facts[obj] {
+			c.pass.Reportf(lhs.Pos(),
+				"write through %s, which holds a value published via atomic Store: published values are frozen — build a new value and swap the pointer (//srclint:allow atomicfreeze to override)",
+				r.Name)
+		}
+	case *ast.CallExpr:
+		if kind, _ := classify(c.pass.TypesInfo, r); kind == atomicLoad {
+			c.pass.Reportf(lhs.Pos(),
+				"write through the result of an atomic Load: published values are frozen — build a new value and swap the pointer (//srclint:allow atomicfreeze to override)")
+		}
+	}
+}
+
+// checkCall flags passing a frozen value to a mutating builtin or to a
+// package-local function that writes through that parameter.
+func (c *freezeChecker) checkCall(call *ast.CallExpr, facts cfg.Facts) {
+	info := c.pass.TypesInfo
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "copy", "clear", "delete":
+				if len(call.Args) > 0 {
+					c.checkWrite(call.Args[0], facts)
+				}
+			}
+			return
+		}
+	}
+	callees := c.graph.Callees(call)
+	if len(callees) == 0 {
+		return
+	}
+	args := callgraph.CallArgs(info, call)
+	for _, callee := range callees {
+		for i, mutates := range callee.Summary.MutatesParam {
+			if !mutates || i >= len(args) {
+				continue
+			}
+			root, _ := lvalueRoot(args[i])
+			id, ok := root.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := c.graph.ValueObj(id); obj != nil && facts[obj] {
+				c.pass.Reportf(args[i].Pos(),
+					"%s is passed to %s, which writes through this parameter, but it holds a value published via atomic Store (//srclint:allow atomicfreeze to override)",
+					id.Name, callee.Name)
+			}
+		}
+	}
+}
+
+// lvalueRoot peels selectors, indexes, derefs and & off an expression and
+// reports whether the access goes through the root.
+func lvalueRoot(e ast.Expr) (root ast.Expr, through bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e, through = x.X, true
+		case *ast.IndexExpr:
+			e, through = x.X, true
+		case *ast.StarExpr:
+			e, through = x.X, true
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return ast.Unparen(e), through
+			}
+			e = x.X
+		default:
+			return ast.Unparen(e), through
+		}
+	}
+}
+
+// stmtCalls visits every call expression within one statement/expression
+// node, not descending into function literals.
+func stmtCalls(x ast.Node, fn func(*ast.CallExpr)) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(y ast.Node) bool {
+		if _, ok := y.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := y.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package atomicfreeze_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/atomicfreeze"
+)
+
+func TestAtomicFreeze(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), atomicfreeze.Analyzer, "af")
+}

@@ -1,0 +1,104 @@
+// Package af exercises the atomicfreeze analyzer: publish via
+// atomic.Pointer/atomic.Value, aliasing locals, frozen returns, mutating
+// callees, and the copy-on-write idiom that must stay clean.
+package af
+
+import "sync/atomic"
+
+type table struct {
+	shards []int
+	sealed bool
+}
+
+type engine struct {
+	tab atomic.Pointer[table]
+}
+
+// swapClean is copy-on-write: build fresh, publish, never touch again.
+func (e *engine) swapClean(n int) {
+	t := &table{shards: make([]int, n)}
+	t.sealed = true // not yet published: clean
+	e.tab.Store(t)
+}
+
+// mutateAfterStore writes through the pointer it just published.
+func (e *engine) mutateAfterStore(n int) {
+	t := &table{shards: make([]int, n)}
+	e.tab.Store(t)
+	t.sealed = true // want `write through t, which holds a value published via atomic Store`
+}
+
+// mutateLoaded writes through a local bound from Load.
+func (e *engine) mutateLoaded() {
+	t := e.tab.Load()
+	t.sealed = true // want `write through t, which holds a value published via atomic Store`
+}
+
+// mutateLoadDirect writes through the Load call itself.
+func (e *engine) mutateLoadDirect() {
+	e.tab.Load().sealed = true // want `write through the result of an atomic Load`
+}
+
+// copyInto mutates the published slice with a builtin.
+func (e *engine) copyInto(src []int) {
+	t := e.tab.Load()
+	copy(t.shards, src) // want `write through t, which holds a value published via atomic Store`
+}
+
+// seal writes through its parameter; on its own that is fine.
+func seal(t *table) {
+	t.sealed = true
+}
+
+// sealPublished hands a published table to a mutating callee.
+func (e *engine) sealPublished() {
+	t := e.tab.Load()
+	seal(t) // want `t is passed to seal, which writes through this parameter`
+}
+
+// current returns the published table, freezing its callers' bindings.
+func (e *engine) current() *table {
+	return e.tab.Load()
+}
+
+// mutateViaReturn writes through a value frozen one call away.
+func (e *engine) mutateViaReturn() {
+	t := e.current()
+	t.sealed = true // want `write through t, which holds a value published via atomic Store`
+}
+
+// mutateOnOnePath publishes on one branch only; the write after the join
+// may hit the published value (may-analysis).
+func (e *engine) mutateOnOnePath(pub bool, t *table) {
+	if pub {
+		e.tab.Store(t)
+	}
+	t.sealed = true // want `write through t, which holds a value published via atomic Store`
+}
+
+// rebindClean re-points t at a fresh table before writing: the rebinding
+// kills the frozen fact.
+func (e *engine) rebindClean(n int) {
+	t := &table{}
+	e.tab.Store(t)
+	t = &table{shards: make([]int, n)}
+	t.sealed = true // rebound to an unpublished value: clean
+}
+
+type box struct {
+	v atomic.Value
+}
+
+// mutateValue covers the atomic.Value idiom: Load().(*T) is frozen.
+func (b *box) mutateValue() {
+	t := b.v.Load().(*table)
+	t.sealed = true // want `write through t, which holds a value published via atomic Store`
+}
+
+type counter struct{ n atomic.Int64 }
+
+// bump: scalar atomics hold copies, nothing to freeze.
+func (c *counter) bump(buf []int) {
+	c.n.Store(5)
+	buf[0] = 1 // clean
+}

@@ -1,0 +1,192 @@
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixture is a small multi-file package covering the edge kinds, method
+// calls, function-value flow, and a recursion cycle.
+var fixture = map[string]string{
+	"a.go": `package p
+
+type shard struct{ n int }
+
+func (s *shard) run() {
+	s.step()
+}
+
+func (s *shard) step() {
+	if s.n > 0 {
+		s.n--
+		s.step()
+	}
+}
+
+func ping(k int) { pong(k) }
+`,
+	"b.go": `package p
+
+func pong(k int) {
+	if k > 0 {
+		ping(k - 1)
+	}
+}
+
+func launch(s *shard) {
+	w := s.run
+	go w()
+	defer s.step()
+	go func() { s.step() }()
+}
+`,
+}
+
+// buildOrder parses the fixture files in the given name order, typechecks,
+// and builds the graph.
+func buildOrder(t *testing.T, names []string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, fixture[name], parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, files, info); err != nil {
+		t.Fatal(err)
+	}
+	return Build(fset, files, info)
+}
+
+// render serializes a graph into a canonical string: node order, edge
+// order, and SCC order all appear verbatim.
+func render(g *Graph) string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "%d %s:", n.Index, n.Name)
+		for _, e := range n.Out {
+			fmt.Fprintf(&b, " %s->%s", e.Kind, e.Callee.Name)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("sccs:")
+	for _, scc := range g.SCCs() {
+		var names []string
+		for _, n := range scc {
+			names = append(names, n.Name)
+		}
+		fmt.Fprintf(&b, " [%s]", strings.Join(names, " "))
+	}
+	return b.String()
+}
+
+// TestDeterministicUnderFileOrder asserts the graph — node indices, edge
+// lists, SCC emission — is byte-identical no matter the order files are
+// handed to Build.
+func TestDeterministicUnderFileOrder(t *testing.T) {
+	want := render(buildOrder(t, []string{"a.go", "b.go"}))
+	got := render(buildOrder(t, []string{"b.go", "a.go"}))
+	if got != want {
+		t.Errorf("graph depends on file order:\n--- a,b ---\n%s\n--- b,a ---\n%s", want, got)
+	}
+}
+
+// TestGraphShape pins the expected nodes and edges: method calls resolve,
+// go/defer sites get their kinds, a method value launched via `go` still
+// reaches its target, and closures hang off their enclosing declaration.
+func TestGraphShape(t *testing.T) {
+	g := buildOrder(t, []string{"a.go", "b.go"})
+
+	byName := make(map[string]*Node)
+	for _, n := range g.Nodes {
+		byName[n.Name] = n
+	}
+	for _, name := range []string{"shard.run", "shard.step", "ping", "pong", "launch", "launch$1"} {
+		if byName[name] == nil {
+			t.Fatalf("missing node %q; have %v", name, nodeNames(g))
+		}
+	}
+
+	edges := make(map[string]bool)
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			edges[fmt.Sprintf("%s %s %s", n.Name, e.Kind, e.Callee.Name)] = true
+		}
+	}
+	for _, want := range []string{
+		"shard.run call shard.step",
+		"shard.step call shard.step",
+		"ping call pong",
+		"pong call ping",
+		"launch go shard.run", // method value w := s.run; go w()
+		"launch defer shard.step",
+		"launch go launch$1",
+		"launch$1 call shard.step",
+	} {
+		if !edges[want] {
+			t.Errorf("missing edge %q; have %v", want, keys(edges))
+		}
+	}
+
+	// launch$1 is anchored to its enclosing declaration.
+	if d := byName["launch$1"].EnclosingDecl(); d == nil || d.Name != "launch" {
+		t.Errorf("launch$1 EnclosingDecl = %v, want launch", d)
+	}
+
+	// The ping/pong cycle lands in one SCC, in index order, and callees
+	// come before callers in the reverse-topological emission.
+	var pingSCC []*Node
+	order := make(map[string]int)
+	for i, scc := range g.SCCs() {
+		for _, n := range scc {
+			order[n.Name] = i
+			if n.Name == "ping" || n.Name == "pong" {
+				pingSCC = scc
+			}
+		}
+	}
+	if len(pingSCC) != 2 {
+		t.Fatalf("ping/pong SCC has %d members", len(pingSCC))
+	}
+	if pingSCC[0].Index > pingSCC[1].Index {
+		t.Errorf("SCC members not in index order: %s before %s", pingSCC[0].Name, pingSCC[1].Name)
+	}
+	if order["shard.step"] > order["shard.run"] {
+		t.Errorf("callee shard.step emitted after caller shard.run (not reverse-topological)")
+	}
+}
+
+func nodeNames(g *Graph) []string {
+	var out []string
+	for _, n := range g.Nodes {
+		out = append(out, n.Name)
+	}
+	return out
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,342 @@
+// Package chandisc defines an srclint analyzer enforcing channel
+// discipline, the rules that keep the engine's queue hand-off and the
+// netblock shutdown protocol panic-free:
+//
+//  1. No send reachable after a close of the same channel on any CFG path
+//     — including sends performed by callees (per the callgraph channel
+//     summaries) and sends deferred to function exit.
+//  2. A channel field annotated `//srclint:owns <fn>[,<fn>...]` may only
+//     be closed from the named functions (matched against the enclosing
+//     declaration, so a close inside `once.Do(func(){...})` belongs to
+//     the method running it). Closing is an ownership act: exactly one
+//     well-known place may do it.
+//  3. A function must not both close a channel and receive from it: the
+//     closer is the sender side of the protocol. Draining your own close
+//     (`close(ch); for range ch`) converts a shutdown signal into data
+//     consumption — restructure (collect into a slice, or move the drain
+//     to the consumer).
+//
+// Goroutine launches are deliberately *not* treated as reachability for
+// rule 1: `go func(){ ch <- v }(); wg.Wait(); close(ch)` is the standard
+// fan-in idiom, and the ordering between the launched sends and the close
+// is established by synchronization the analyzer cannot see. Rule 1 is
+// about program order within one goroutine, where a send after close is
+// a guaranteed panic once that path runs.
+package chandisc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"srccache/internal/analysis"
+	"srccache/internal/analysis/callgraph"
+	"srccache/internal/analysis/cfg"
+)
+
+// Analyzer is the channel-discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "chandisc",
+	Doc:  "no send after close, close only from the owning function, no receive on a self-closed channel",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := callgraph.Build(pass.Fset, pass.Files, pass.TypesInfo)
+	g.ComputeSummaries()
+	owners := ownedFields(pass)
+	c := &checker{pass: pass, graph: g, owners: owners}
+	for _, n := range g.Nodes {
+		c.checkOwnership(n)
+		c.checkSendAfterClose(n)
+		c.checkCloseAndReceive(n)
+	}
+	return nil
+}
+
+// ownedFields maps channel field objects to their //srclint:owns lists.
+func ownedFields(pass *analysis.Pass) map[types.Object][]string {
+	owners := make(map[types.Object][]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			st, ok := x.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				args, ok := analysis.FieldDirective(field, "owns")
+				if !ok {
+					continue
+				}
+				// The owner list ends at the first whitespace (like
+				// //srclint:allow); anything after is free-form prose.
+				args, _, _ = strings.Cut(args, " ")
+				var names []string
+				for _, name := range strings.Split(args, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						names = append(names, name)
+					}
+				}
+				for _, id := range field.Names {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						owners[obj] = names
+					}
+				}
+			}
+			return true
+		})
+	}
+	return owners
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	graph  *callgraph.Graph
+	owners map[types.Object][]string
+}
+
+// chanName renders a channel expression for diagnostics.
+func chanName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return chanName(e.X) + "." + e.Sel.Name
+	}
+	return "channel"
+}
+
+// closeArg returns the channel expression of a builtin close call, or nil.
+func (c *checker) closeArg(call *ast.CallExpr) ast.Expr {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return nil
+	}
+	return call.Args[0]
+}
+
+// checkOwnership enforces rule 2 on every close site in n.
+func (c *checker) checkOwnership(n *callgraph.Node) {
+	decl := n.EnclosingDecl()
+	n.Walk(func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		arg := c.closeArg(call)
+		if arg == nil {
+			return true
+		}
+		obj := c.graph.ValueObj(arg)
+		if obj == nil {
+			return true
+		}
+		names, owned := c.owners[obj]
+		if !owned || ownerMatches(decl, names) {
+			return true
+		}
+		c.pass.Reportf(call.Pos(),
+			"close(%s) outside its owner %s (//srclint:owns): only the owning function may close this channel",
+			chanName(arg), strings.Join(names, ", "))
+		return true
+	})
+}
+
+// ownerMatches reports whether the declaration node matches one of the
+// owner names: a bare function/method name or a qualified "Type.method".
+func ownerMatches(decl *callgraph.Node, names []string) bool {
+	for _, name := range names {
+		if decl.Name == name || strings.HasSuffix(decl.Name, "."+name) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSendAfterClose enforces rule 1 with a may-dataflow over n's CFG:
+// facts are the channel objects closed on some path to the current node.
+func (c *checker) checkSendAfterClose(n *callgraph.Node) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	// closesIn collects the channel objects a statement closes, directly
+	// or via synchronous callees.
+	closesIn := func(x ast.Node, fn func(types.Object)) {
+		stmtCalls(x, func(call *ast.CallExpr) {
+			if arg := c.closeArg(call); arg != nil {
+				if obj := c.graph.ValueObj(arg); obj != nil {
+					fn(obj)
+				}
+				return
+			}
+			for _, callee := range c.graph.Callees(call) {
+				for _, obj := range callee.Summary.ClosesOn {
+					fn(obj)
+				}
+				args := callgraph.CallArgs(c.pass.TypesInfo, call)
+				for i, hit := range callee.Summary.ClosesOnParam {
+					if hit && i < len(args) {
+						if obj := c.graph.ValueObj(args[i]); obj != nil {
+							fn(obj)
+						}
+					}
+				}
+			}
+		})
+	}
+	p := cfg.Problem{Transfer: func(x ast.Node, facts cfg.Facts) {
+		if _, isDefer := x.(*ast.DeferStmt); isDefer {
+			return // runs at exit, not here; handled below
+		}
+		if _, isGo := x.(*ast.GoStmt); isGo {
+			return // concurrent; not ordered after this point
+		}
+		closesIn(x, func(obj types.Object) { facts[obj] = true })
+	}}
+	g := cfg.New(body)
+	ins := cfg.Solve(g, p)
+
+	// sendsIn reports sends a statement performs, directly or via callees.
+	sendsIn := func(x ast.Node, fn func(obj types.Object, pos ast.Node, how string)) {
+		if s, ok := x.(*ast.SendStmt); ok {
+			if obj := c.graph.ValueObj(s.Chan); obj != nil {
+				fn(obj, s, "send on "+chanName(s.Chan))
+			}
+		}
+		stmtCalls(x, func(call *ast.CallExpr) {
+			for _, callee := range c.graph.Callees(call) {
+				for _, obj := range callee.Summary.SendsOn {
+					fn(obj, call, callee.Name+" sends on a channel")
+				}
+				args := callgraph.CallArgs(c.pass.TypesInfo, call)
+				for i, hit := range callee.Summary.SendsOnParam {
+					if hit && i < len(args) {
+						if obj := c.graph.ValueObj(args[i]); obj != nil {
+							fn(obj, call, callee.Name+" sends on "+chanName(args[i]))
+						}
+					}
+				}
+			}
+		})
+	}
+	cfg.Visit(g, p, ins, func(x ast.Node, before cfg.Facts) {
+		switch x.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return // deferred sends checked against exit facts below
+		}
+		sendsIn(x, func(obj types.Object, at ast.Node, how string) {
+			if !before[obj] {
+				return
+			}
+			c.pass.Reportf(at.Pos(),
+				"%s is reachable after close on a path through this function: a send on a closed channel panics (//srclint:allow chandisc to override)", how)
+		})
+	})
+
+	// Deferred sends run at function exit: if the function may have closed
+	// the channel by then (on any path), the defer panics when that path
+	// ran. Exit facts may be nil when every path panics.
+	exit := cfg.ExitFacts(g, ins)
+	closedAtExit := func(obj types.Object) bool {
+		if exit != nil && exit[obj] {
+			return true
+		}
+		return false
+	}
+	n.Walk(func(x ast.Node) bool {
+		d, ok := x.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		for _, callee := range c.graph.Callees(d.Call) {
+			for _, obj := range callee.Summary.SendsOn {
+				if closedAtExit(obj) {
+					c.pass.Reportf(d.Pos(),
+						"deferred %s sends on a channel this function closes: the send runs after the close (//srclint:allow chandisc to override)", callee.Name)
+				}
+			}
+			args := callgraph.CallArgs(c.pass.TypesInfo, d.Call)
+			for i, hit := range callee.Summary.SendsOnParam {
+				if hit && i < len(args) {
+					if obj := c.graph.ValueObj(args[i]); obj != nil && closedAtExit(obj) {
+						c.pass.Reportf(d.Pos(),
+							"deferred send on %s runs after this function closes it (//srclint:allow chandisc to override)", chanName(args[i]))
+					}
+				}
+			}
+		}
+		return false
+	})
+}
+
+// checkCloseAndReceive enforces rule 3: one function (node) must not both
+// close a channel and receive from it.
+func (c *checker) checkCloseAndReceive(n *callgraph.Node) {
+	closed := make(map[types.Object]bool)
+	n.Walk(func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok {
+			if arg := c.closeArg(call); arg != nil {
+				if obj := c.graph.ValueObj(arg); obj != nil {
+					closed[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(closed) == 0 {
+		return
+	}
+	report := func(e ast.Expr, pos ast.Node) {
+		obj := c.graph.ValueObj(e)
+		if obj == nil || !closed[obj] {
+			return
+		}
+		c.pass.Reportf(pos.Pos(),
+			"receive from %s in the same function that closes it: the closer is the sender side — collect results another way or move the drain to the consumer (//srclint:allow chandisc to override)",
+			chanName(e))
+		delete(closed, obj) // one finding per channel per function
+	}
+	n.Walk(func(x ast.Node) bool {
+		switch s := x.(type) {
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				report(s.X, s)
+			}
+		case *ast.RangeStmt:
+			if s.X == nil {
+				return true
+			}
+			if t := c.pass.TypesInfo.TypeOf(s.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					report(s.X, s)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// stmtCalls visits every call expression within one statement/expression
+// node, not descending into function literals.
+func stmtCalls(x ast.Node, fn func(*ast.CallExpr)) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(y ast.Node) bool {
+		if _, ok := y.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := y.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package chandisc_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/chandisc"
+)
+
+func TestChanDisc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), chandisc.Analyzer, "cd")
+}

@@ -1,0 +1,103 @@
+// Package cd exercises the chandisc analyzer: send-after-close on any
+// path (including through callees and defers), //srclint:owns ownership,
+// and close-then-drain in one function.
+package cd
+
+import "sync"
+
+type pool struct {
+	done chan struct{} //srclint:owns shutdown (signal channel)
+	work chan int      //srclint:owns drain
+}
+
+// shutdown owns done: clean.
+func (p *pool) shutdown() {
+	close(p.done)
+}
+
+// hijack closes a channel it does not own.
+func (p *pool) hijack() {
+	close(p.done) // want `close\(p\.done\) outside its owner shutdown`
+}
+
+// drain owns work and closes it inside a literal: the close is attributed
+// to the enclosing declaration, so this is clean.
+func (p *pool) drain() {
+	fn := func() { close(p.work) }
+	fn()
+}
+
+// sendAfterClose is a guaranteed panic in straight-line code.
+func sendAfterClose(ch chan int) {
+	close(ch)
+	ch <- 1 // want `send on ch is reachable after close`
+}
+
+// closeOnOnePath closes on one branch; the send after the join panics
+// whenever that branch ran (may-analysis).
+func closeOnOnePath(ch chan int, stop bool) {
+	if stop {
+		close(ch)
+	}
+	ch <- 2 // want `send on ch is reachable after close`
+}
+
+// shutdownChan closes its parameter; the summary carries that to callers.
+func shutdownChan(ch chan int) {
+	close(ch)
+}
+
+// sendAfterCalleeClose closes through a helper, then sends.
+func sendAfterCalleeClose(ch chan int) {
+	shutdownChan(ch)
+	ch <- 3 // want `send on ch is reachable after close`
+}
+
+// push sends on its parameter; on its own that is fine.
+func push(ch chan int, v int) {
+	ch <- v
+}
+
+// closeThenPush reaches a send through a callee after closing.
+func closeThenPush(ch chan int) {
+	close(ch)
+	push(ch, 4) // want `push sends on ch is reachable after close`
+}
+
+// deferredSend defers a send, then closes: the defer runs at exit, after
+// the close on every completing path.
+func deferredSend(ch chan int) {
+	defer func() { ch <- 5 }() // want `sends on a channel this function closes`
+	close(ch)
+}
+
+// fanIn is the standard idiom the analyzer must not flag: launched sends
+// are ordered before the close by the WaitGroup (go statements are not
+// rule-1 reachability), and the drain belongs to the consumer.
+func fanIn(n int) <-chan int {
+	var wg sync.WaitGroup
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			ch <- v
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return ch
+}
+
+// drainOwnClose converts the shutdown signal into data consumption: the
+// closer is the sender side of the protocol.
+func drainOwnClose(ch chan int) int {
+	close(ch)
+	total := 0
+	for v := range ch { // want `receive from ch in the same function that closes it`
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,546 @@
+// Package confined defines an srclint analyzer enforcing goroutine
+// confinement of struct fields — the convention that gives the sharded
+// engine its lock-free hot path. A field annotated
+//
+//	//srclint:confined <owner>[,<owner>...]
+//
+// belongs to the goroutine running the named worker function (the
+// engine's shard.run loop). The analyzer walks the package call graph and
+// collects every function that touches a confined field, directly or
+// through synchronous calls. Each such function must be one of:
+//
+//   - the owner itself (or code reached only from it),
+//   - a function whose confined accesses are dominated by a handoff
+//     guard: an `if <h>.Load() { return/panic }` check of a field
+//     annotated `//srclint:handoff` (an atomic.Bool flipped exactly once
+//     when the worker goroutines start). The guard proves the access runs
+//     in the single-goroutine setup phase — the engine's Serial view.
+//
+// Everything else is a finding: a `go` launch whose goroutine reaches
+// confined state is a second root (reported at the launch site), and an
+// unguarded accessor reachable from outside the owner is reported at its
+// declaration. One diagnostic per function / launch site, naming the
+// fields involved, so one missing guard is exactly one finding.
+package confined
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"srccache/internal/analysis"
+	"srccache/internal/analysis/callgraph"
+	"srccache/internal/analysis/cfg"
+)
+
+// Analyzer is the goroutine-confinement check.
+var Analyzer = &analysis.Analyzer{
+	Name: "confined",
+	Doc:  "fields marked //srclint:confined may only be reached from their owner goroutine or behind a //srclint:handoff guard",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	fields, handoff := collectDirectives(pass)
+	if len(fields) == 0 {
+		return nil
+	}
+	g := callgraph.Build(pass.Fset, pass.Files, pass.TypesInfo)
+	c := &checker{
+		pass:    pass,
+		graph:   g,
+		fields:  fields,
+		handoff: handoff,
+		access:  make(map[*callgraph.Node][]access),
+		inD:     make(map[*callgraph.Node]bool),
+	}
+	c.collectAccesses()
+	// Phase 1: full synchronous closure of the accessor set, used to judge
+	// guard placement (a call into any accessor needs the guard fact).
+	c.propagate(false)
+	c.markOwnersAndGuards()
+	// Phase 2: a guarded function re-checks the handoff at runtime, so it
+	// does not make its *callers* accessors — rebuild the closure stopping
+	// at guarded nodes, then judge what remains.
+	c.inD = make(map[*callgraph.Node]bool)
+	c.propagate(true)
+	c.classify()
+	c.report()
+	return nil
+}
+
+// fieldInfo is one //srclint:confined annotation.
+type fieldInfo struct {
+	obj    types.Object
+	name   string   // "shard.cache"
+	owners []string // worker-function names
+}
+
+// access is one direct read or write of a confined field.
+type access struct {
+	field *fieldInfo
+	pos   ast.Node
+}
+
+func collectDirectives(pass *analysis.Pass) (map[types.Object]*fieldInfo, map[types.Object]bool) {
+	fields := make(map[types.Object]*fieldInfo)
+	handoff := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(x ast.Node) bool {
+			ts, ok := x.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if _, ok := analysis.FieldDirective(field, "handoff"); ok {
+					for _, id := range field.Names {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							handoff[obj] = true
+						}
+					}
+				}
+				args, ok := analysis.FieldDirective(field, "confined")
+				if !ok {
+					continue
+				}
+				// The owner list ends at the first whitespace (like
+				// //srclint:allow); anything after is free-form prose.
+				args, _, _ = strings.Cut(args, " ")
+				var owners []string
+				for _, o := range strings.Split(args, ",") {
+					if o = strings.TrimSpace(o); o != "" {
+						owners = append(owners, o)
+					}
+				}
+				for _, id := range field.Names {
+					obj := pass.TypesInfo.Defs[id]
+					if obj == nil {
+						continue
+					}
+					fields[obj] = &fieldInfo{
+						obj:    obj,
+						name:   ts.Name.Name + "." + id.Name,
+						owners: owners,
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fields, handoff
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	graph   *callgraph.Graph
+	fields  map[types.Object]*fieldInfo
+	handoff map[types.Object]bool
+
+	access map[*callgraph.Node][]access // direct accesses per node
+	inD    map[*callgraph.Node]bool     // reaches confined state synchronously
+
+	owner   map[*callgraph.Node]bool // node is a declared owner
+	guarded map[*callgraph.Node]bool // handoff guard dominates all accesses
+	cleared map[*callgraph.Node]bool // safe: owner-only reachable or guarded
+}
+
+// collectAccesses records every selector resolving to a confined field.
+func (c *checker) collectAccesses() {
+	for _, n := range c.graph.Nodes {
+		n.Walk(func(x ast.Node) bool {
+			sel, ok := x.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := c.pass.TypesInfo.Selections[sel]
+			if s == nil {
+				return true
+			}
+			obj, _ := s.Obj().(*types.Var)
+			if obj == nil {
+				return true
+			}
+			if fi := c.fields[types.Object(obj)]; fi != nil {
+				c.access[n] = append(c.access[n], access{field: fi, pos: sel})
+			}
+			return true
+		})
+	}
+}
+
+// propagate closes the accessor set over synchronous (call/defer) edges:
+// a caller of an accessor is an accessor. With stopAtGuarded set, guarded
+// nodes join the set but do not infect their callers.
+func (c *checker) propagate(stopAtGuarded bool) {
+	var worklist []*callgraph.Node
+	for _, n := range c.graph.Nodes {
+		if len(c.access[n]) > 0 {
+			c.inD[n] = true
+			worklist = append(worklist, n)
+		}
+	}
+	for len(worklist) > 0 {
+		n := worklist[0]
+		worklist = worklist[1:]
+		if stopAtGuarded && c.guarded[n] {
+			continue
+		}
+		for _, e := range n.In {
+			if e.Kind == callgraph.Go {
+				continue // a launch is a root, not synchronous reachability
+			}
+			if !c.inD[e.Caller] {
+				c.inD[e.Caller] = true
+				worklist = append(worklist, e.Caller)
+			}
+		}
+	}
+}
+
+// markOwnersAndGuards records which accessors are owner loops or carry a
+// dominating handoff guard, judged against the phase-1 closure.
+func (c *checker) markOwnersAndGuards() {
+	c.owner = make(map[*callgraph.Node]bool)
+	c.guarded = make(map[*callgraph.Node]bool)
+	for n := range c.inD {
+		if c.isOwner(n) {
+			c.owner[n] = true
+		} else if c.hasDominatingGuard(n) {
+			c.guarded[n] = true
+		}
+	}
+}
+
+// isOwner reports whether n is a declared owner of every field it reaches.
+func (c *checker) isOwner(n *callgraph.Node) bool {
+	owners := c.ownersFor(n)
+	if len(owners) == 0 {
+		return false
+	}
+	for _, o := range owners {
+		if n.Name == o || strings.HasSuffix(n.Name, "."+o) {
+			return true
+		}
+	}
+	return false
+}
+
+// ownersFor unions the owner lists of every confined field n reaches. In
+// practice a package has one worker loop; the union keeps the rule sound
+// when there are several.
+func (c *checker) ownersFor(n *callgraph.Node) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, fi := range c.sortedFields() {
+		for _, o := range fi.owners {
+			if !seen[o] {
+				seen[o] = true
+				out = append(out, o)
+			}
+		}
+	}
+	_ = n
+	return out
+}
+
+// sortedFields returns the confined fields in declaration order.
+func (c *checker) sortedFields() []*fieldInfo {
+	out := make([]*fieldInfo, 0, len(c.fields))
+	for _, fi := range c.fields {
+		out = append(out, fi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].obj.Pos() < out[j].obj.Pos() })
+	return out
+}
+
+// classify decides, for every accessor, whether it is safe: an owner, a
+// guarded function, or reachable only from safe functions. Greatest
+// fixpoint: start from "every accessor is cleared" and strike out nodes
+// until stable, so mutual recursion among owner-only helpers converges to
+// cleared rather than flagged.
+func (c *checker) classify() {
+	c.cleared = make(map[*callgraph.Node]bool)
+	for n := range c.inD {
+		c.cleared[n] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range c.graph.Nodes {
+			if !c.cleared[n] || c.owner[n] || c.guarded[n] {
+				continue
+			}
+			if !c.callersSafe(n) {
+				delete(c.cleared, n)
+				changed = true
+			}
+		}
+	}
+}
+
+// callersSafe reports whether n is reachable only from cleared code on
+// the owner's goroutine: not exported, never `go`-launched, and every
+// synchronous caller cleared. A node nobody calls has no proven owner
+// path and is not safe (its future caller could be any goroutine).
+func (c *checker) callersSafe(n *callgraph.Node) bool {
+	if n.Decl != nil && n.Decl.Name.IsExported() {
+		return false
+	}
+	if len(n.In) == 0 {
+		return false
+	}
+	for _, e := range n.In {
+		if e.Kind == callgraph.Go {
+			return false // reported at the launch site
+		}
+		if !c.cleared[e.Caller] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasDominatingGuard reports whether every confined access and every call
+// into the accessor set inside n happens strictly after a handoff guard
+// on every CFG path: an if statement whose condition reads a
+// //srclint:handoff field via .Load() and whose then-branch leaves the
+// function. Accesses inside a guard's then-branch (the post-handoff
+// world) disqualify the function entirely.
+func (c *checker) hasDominatingGuard(n *callgraph.Node) bool {
+	if len(c.handoff) == 0 {
+		return false
+	}
+	body := n.Body()
+	if body == nil {
+		return false
+	}
+	// Recognize guards and remember their condition expressions and
+	// then-branch extents.
+	guards := make(map[ast.Expr]bool)
+	type span struct{ lo, hi int }
+	var thenSpans []span
+	n.Walk(func(x ast.Node) bool {
+		ifs, ok := x.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if c.readsHandoff(ifs.Cond) && branchLeaves(ifs.Body) {
+			guards[ifs.Cond] = true
+			thenSpans = append(thenSpans, span{int(ifs.Body.Pos()), int(ifs.Body.End())})
+		}
+		return true
+	})
+	if len(guards) == 0 {
+		return false
+	}
+	inThen := func(pos ast.Node) bool {
+		p := int(pos.Pos())
+		for _, s := range thenSpans {
+			if p >= s.lo && p < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	for _, a := range c.access[n] {
+		if inThen(a.pos) {
+			return false
+		}
+	}
+
+	// Must-dataflow: the "handoff checked" fact is generated at a guard
+	// condition and must hold before every access and every call into
+	// the accessor set.
+	type guardFact struct{}
+	p := cfg.Problem{Must: true, Transfer: func(x ast.Node, facts cfg.Facts) {
+		if e, ok := x.(ast.Expr); ok && guards[e] {
+			facts[guardFact{}] = true
+		}
+	}}
+	g := cfg.New(body)
+	ins := cfg.Solve(g, p)
+	ok := true
+	cfg.Visit(g, p, ins, func(x ast.Node, before cfg.Facts) {
+		if !ok || before[guardFact{}] {
+			return
+		}
+		if c.stmtTouchesConfined(x) {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// stmtTouchesConfined reports whether one CFG node accesses a confined
+// field or synchronously calls into the accessor set.
+func (c *checker) stmtTouchesConfined(x ast.Node) bool {
+	found := false
+	ast.Inspect(x, func(y ast.Node) bool {
+		if found {
+			return false
+		}
+		switch y := y.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SelectorExpr:
+			if s := c.pass.TypesInfo.Selections[y]; s != nil {
+				if v, ok := s.Obj().(*types.Var); ok && c.fields[types.Object(v)] != nil {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			for _, callee := range c.graph.Callees(y) {
+				if c.inD[callee] {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// readsHandoff reports whether an expression contains <handoff>.Load().
+func (c *checker) readsHandoff(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Load" {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if s := c.pass.TypesInfo.Selections[inner]; s != nil {
+			if v, ok := s.Obj().(*types.Var); ok && c.handoff[types.Object(v)] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// branchLeaves reports whether a guard's then-branch exits the function:
+// its last statement is a return or a call to panic/os.Exit.
+func branchLeaves(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				return fun.Name == "panic"
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok {
+					return id.Name == "os" && fun.Sel.Name == "Exit"
+				}
+			}
+		}
+	}
+	return false
+}
+
+// report emits the findings: one per foreign launch site, one per
+// unsafe accessor function.
+func (c *checker) report() {
+	// Launch findings: a `go` edge into the accessor set whose target is
+	// not the owner loop. Deduped per launch site.
+	launched := make(map[*callgraph.Node]bool)
+	type site struct {
+		pos    ast.Node
+		fields map[string]bool
+	}
+	var sites []*site
+	bySite := make(map[ast.Node]*site)
+	for _, n := range c.graph.Nodes {
+		for _, e := range n.Out {
+			if e.Kind != callgraph.Go || !c.inD[e.Callee] {
+				continue
+			}
+			if c.owner[e.Callee] || c.guarded[e.Callee] {
+				continue
+			}
+			launched[e.Callee] = true
+			s := bySite[e.Site]
+			if s == nil {
+				s = &site{pos: e.Site, fields: make(map[string]bool)}
+				bySite[e.Site] = s
+				sites = append(sites, s)
+			}
+			for _, fn := range c.reachedFields(e.Callee) {
+				s.fields[fn] = true
+			}
+		}
+	}
+	for _, s := range sites {
+		c.pass.Reportf(s.pos.Pos(),
+			"goroutine launched here reaches confined field(s) %s owned by another goroutine's worker loop (//srclint:confined); route the work through the owner's queue (//srclint:allow confined to override)",
+			joinSorted(s.fields))
+	}
+
+	// Function findings: accessors that are neither owner, guarded, nor
+	// cleared — and not already reported at a launch site.
+	for _, n := range c.graph.Nodes {
+		if !c.inD[n] || c.cleared[n] || launched[n] {
+			continue
+		}
+		fields := make(map[string]bool)
+		for _, fn := range c.reachedFields(n) {
+			fields[fn] = true
+		}
+		c.pass.Reportf(n.Pos(),
+			"%s reaches confined field(s) %s (//srclint:confined) but is neither the owner loop nor guarded by a //srclint:handoff check dominating every access (//srclint:allow confined to override)",
+			n.Name, joinSorted(fields))
+	}
+}
+
+// reachedFields names the confined fields n reaches, directly or through
+// synchronous callees.
+func (c *checker) reachedFields(n *callgraph.Node) []string {
+	seen := make(map[*callgraph.Node]bool)
+	fields := make(map[string]bool)
+	var walk func(m *callgraph.Node)
+	walk = func(m *callgraph.Node) {
+		if seen[m] {
+			return
+		}
+		seen[m] = true
+		for _, a := range c.access[m] {
+			fields[a.field.name] = true
+		}
+		for _, e := range m.Out {
+			if e.Kind != callgraph.Go && c.inD[e.Callee] {
+				walk(e.Callee)
+			}
+		}
+	}
+	walk(n)
+	return sortedKeys(fields)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func joinSorted(m map[string]bool) string {
+	return strings.Join(sortedKeys(m), ", ")
+}

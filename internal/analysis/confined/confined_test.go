@@ -1,0 +1,12 @@
+package confined_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/confined"
+)
+
+func TestConfined(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), confined.Analyzer, "cf")
+}

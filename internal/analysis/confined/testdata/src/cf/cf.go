@@ -1,0 +1,88 @@
+// Package cf exercises the confined analyzer: owner loops, handoff
+// guards, recursion among owner-only helpers, method values, and `go
+// func` closures.
+package cf
+
+import "sync/atomic"
+
+type item struct{ v int }
+
+type worker struct {
+	q int
+
+	// cache belongs to the goroutine running run.
+	cache map[int]*item //srclint:confined run
+
+	started atomic.Bool //srclint:handoff (flipped once when run is launched)
+}
+
+// run is the declared owner loop: unrestricted access.
+func (w *worker) run() {
+	for k := 0; k < w.q; k++ {
+		w.cache[k] = &item{v: k}
+		w.helper(k)
+		w.evict(k)
+	}
+}
+
+// helper is reachable only from the owner loop: cleared.
+func (w *worker) helper(k int) {
+	delete(w.cache, k)
+}
+
+// evict recurses; it and its recursive call stay cleared because every
+// synchronous caller is the owner loop or itself.
+func (w *worker) evict(k int) {
+	if k <= 0 {
+		return
+	}
+	delete(w.cache, k)
+	w.evict(k - 1)
+}
+
+// Seed runs in the setup phase: the handoff guard dominates the access.
+func (w *worker) Seed(k int) {
+	if w.started.Load() {
+		panic("seed after start")
+	}
+	w.cache[k] = &item{v: k}
+}
+
+// Peek is exported and unguarded: any goroutine could call it.
+func (w *worker) Peek(k int) *item { // want `worker\.Peek reaches confined field\(s\) worker\.cache`
+	return w.cache[k]
+}
+
+// SeedRacy checks the handoff on only one path, so the guard does not
+// dominate the access.
+func (w *worker) SeedRacy(k int) { // want `worker\.SeedRacy reaches confined field\(s\) worker\.cache`
+	if k > 0 {
+		if w.started.Load() {
+			return
+		}
+	}
+	w.cache[k] = &item{v: k}
+}
+
+// sample touches the cache and exists only to be go-launched below; the
+// finding lands on the launch site, not here.
+func (w *worker) sample() {
+	_ = w.cache[1]
+}
+
+// Start launches the owner loop (clean) and a rogue closure that reads
+// the cache from a second goroutine (finding at the launch site).
+func Start(w *worker) {
+	w.started.Store(true)
+	go w.run()
+	go func() { // want `goroutine launched here reaches confined field\(s\) worker\.cache`
+		_ = w.cache[0]
+	}()
+}
+
+// StartSampler launches a non-owner accessor through a method value: the
+// function-value flow still resolves the target.
+func StartSampler(w *worker) {
+	f := w.sample
+	go f() // want `goroutine launched here reaches confined field\(s\) worker\.cache`
+}

@@ -11,6 +11,9 @@ import (
 	"testing"
 
 	"srccache/internal/analysis"
+	"srccache/internal/analysis/atomicfreeze"
+	"srccache/internal/analysis/chandisc"
+	"srccache/internal/analysis/confined"
 	"srccache/internal/analysis/errpath"
 	"srccache/internal/analysis/flushepoch"
 	"srccache/internal/analysis/ioerr"
@@ -20,7 +23,7 @@ import (
 	"srccache/internal/analysis/wallclock"
 )
 
-// allAnalyzers mirrors cmd/srclint's registration list.
+// allAnalyzers mirrors cmd/srclint's registration list: all ten checks.
 var allAnalyzers = []*analysis.Analyzer{
 	wallclock.Analyzer,
 	seededrand.Analyzer,
@@ -29,59 +32,65 @@ var allAnalyzers = []*analysis.Analyzer{
 	errpath.Analyzer,
 	lockheld.Analyzer,
 	flushepoch.Analyzer,
+	confined.Analyzer,
+	atomicfreeze.Analyzer,
+	chandisc.Analyzer,
 }
 
 // TestJSONSchema pins the -json wire format: one object per line with
 // exactly the fields {analyzer, file, line, message}, paths relative to the
-// given root.
+// given root. Every registered analyzer name must survive the round trip —
+// the CI lint job greps these names out of the NDJSON stream.
 func TestJSONSchema(t *testing.T) {
 	fset := token.NewFileSet()
 	f := fset.AddFile("/repo/internal/src/gc.go", -1, 1000)
 	f.SetLines([]int{0, 100, 200, 300})
 	pos := f.LineStart(3)
 
-	var buf bytes.Buffer
-	diags := []analysis.Diagnostic{
-		{Pos: pos, Category: "flushepoch", Message: "return without drain/flush"},
+	var diags []analysis.Diagnostic
+	for _, a := range allAnalyzers {
+		diags = append(diags, analysis.Diagnostic{
+			Pos: pos, Category: a.Name, Message: "finding from " + a.Name,
+		})
 	}
+	var buf bytes.Buffer
 	if err := writeJSONDiags(&buf, fset, "/repo", diags); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 1 {
-		t.Fatalf("want 1 NDJSON line, got %d: %q", len(lines), buf.String())
+	if len(lines) != len(allAnalyzers) {
+		t.Fatalf("want %d NDJSON lines, got %d: %q", len(allAnalyzers), len(lines), buf.String())
 	}
-	var got map[string]any
-	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
-		t.Fatalf("line is not valid JSON: %v", err)
-	}
-	var keys []string
-	for k := range got {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	if want := []string{"analyzer", "file", "line", "message"}; strings.Join(keys, ",") != strings.Join(want, ",") {
-		t.Errorf("field set = %v, want %v", keys, want)
-	}
-	if got["analyzer"] != "flushepoch" {
-		t.Errorf("analyzer = %v", got["analyzer"])
-	}
-	if got["file"] != "internal/src/gc.go" {
-		t.Errorf("file = %v, want repo-relative internal/src/gc.go", got["file"])
-	}
-	if got["line"] != float64(3) {
-		t.Errorf("line = %v, want 3", got["line"])
-	}
-	if got["message"] != "return without drain/flush" {
-		t.Errorf("message = %v", got["message"])
+	for i, line := range lines {
+		var got map[string]any
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", i, err)
+		}
+		var keys []string
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if want := []string{"analyzer", "file", "line", "message"}; strings.Join(keys, ",") != strings.Join(want, ",") {
+			t.Errorf("line %d field set = %v, want %v", i, keys, want)
+		}
+		if got["analyzer"] != allAnalyzers[i].Name {
+			t.Errorf("line %d analyzer = %v, want %s", i, got["analyzer"], allAnalyzers[i].Name)
+		}
+		if got["file"] != "internal/src/gc.go" {
+			t.Errorf("line %d file = %v, want repo-relative internal/src/gc.go", i, got["file"])
+		}
+		if got["line"] != float64(3) {
+			t.Errorf("line %d line = %v, want 3", i, got["line"])
+		}
 	}
 }
 
-// loadSrcPackage lists srccache/internal/src with export data and returns
-// its file list plus an importer over the dependency closure.
-func loadSrcPackage(t *testing.T) (files []string, packageFile map[string]string) {
+// loadPackage lists one srccache package with export data and returns its
+// non-test file list plus an importer over the dependency closure.
+func loadPackage(t *testing.T, importPath string) (files []string, packageFile map[string]string) {
 	t.Helper()
-	pkgs, err := goList([]string{"srccache/internal/src"})
+	pkgs, err := goList([]string{importPath})
 	if err != nil {
 		t.Fatalf("go list: %v", err)
 	}
@@ -90,26 +99,26 @@ func loadSrcPackage(t *testing.T) (files []string, packageFile map[string]string
 		if p.Export != "" {
 			packageFile[p.ImportPath] = p.Export
 		}
-		if p.ImportPath == "srccache/internal/src" {
+		if p.ImportPath == importPath {
 			for _, f := range p.GoFiles {
 				files = append(files, filepath.Join(p.Dir, f))
 			}
 		}
 	}
 	if len(files) == 0 {
-		t.Fatal("srccache/internal/src not found in go list output")
+		t.Fatalf("%s not found in go list output", importPath)
 	}
 	return files, packageFile
 }
 
-// TestSrcSelfClean asserts the real internal/src package is clean under all
-// seven analyzers (including stale-suppression detection) — the tree-wide
-// self-clean gate in miniature.
-func TestSrcSelfClean(t *testing.T) {
-	files, packageFile := loadSrcPackage(t)
+// checkClean runs all ten analyzers (including stale-suppression
+// detection) over one package and reports every diagnostic as an error.
+func checkClean(t *testing.T, importPath string) {
+	t.Helper()
+	files, packageFile := loadPackage(t, importPath)
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, nil, packageFile)
-	diags, err := checkPackage(allAnalyzers, fset, imp, "srccache/internal/src", "", files)
+	diags, err := checkPackage(allAnalyzers, fset, imp, importPath, "", files)
 	if err != nil {
 		t.Fatalf("checkPackage: %v", err)
 	}
@@ -118,53 +127,82 @@ func TestSrcSelfClean(t *testing.T) {
 	}
 }
 
+// TestSrcSelfClean asserts the real internal/src package is clean under
+// all ten analyzers — the tree-wide self-clean gate in miniature.
+func TestSrcSelfClean(t *testing.T) { checkClean(t, "srccache/internal/src") }
+
+// TestEngineSelfClean covers the package the concurrency analyzers were
+// built for: the sharded engine's confined fields, handoff guards, sealed
+// routing table, and completion channel must all verify.
+func TestEngineSelfClean(t *testing.T) { checkClean(t, "srccache/internal/engine") }
+
+// TestNetblockSelfClean covers the shutdown-channel ownership annotations.
+func TestNetblockSelfClean(t *testing.T) { checkClean(t, "srccache/internal/netblock") }
+
+// TestStatsSelfClean audits the package newly added to vet coverage; a
+// stale //srclint:allow here would fail as a diagnostic.
+func TestStatsSelfClean(t *testing.T) { checkClean(t, "srccache/internal/stats") }
+
+// mutatePackage replaces old with new in the named file of a package copy
+// (the original tree is untouched) and returns the all-analyzer
+// diagnostics for the mutated package.
+func mutatePackage(t *testing.T, importPath, base, oldSrc, newSrc string) ([]analysis.Diagnostic, *token.FileSet) {
+	t.Helper()
+	files, packageFile := loadPackage(t, importPath)
+	var target string
+	for _, f := range files {
+		if filepath.Base(f) == base {
+			target = f
+		}
+	}
+	if target == "" {
+		t.Fatalf("%s not in %s file list", base, importPath)
+	}
+	src, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), oldSrc) {
+		t.Fatalf("%s no longer contains the expected seed site %q; update this test", base, oldSrc)
+	}
+	mutated := strings.Replace(string(src), oldSrc, newSrc, 1)
+	mutatedFile := filepath.Join(t.TempDir(), base)
+	if err := os.WriteFile(mutatedFile, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range files {
+		if f == target {
+			files[i] = mutatedFile
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, nil, packageFile)
+	diags, err := checkPackage(allAnalyzers, fset, imp, importPath, "", files)
+	if err != nil {
+		t.Fatalf("checkPackage on mutated source: %v", err)
+	}
+	return diags, fset
+}
+
+// ofCategory filters diagnostics by analyzer name.
+func ofCategory(diags []analysis.Diagnostic, category string) []analysis.Diagnostic {
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Category == category {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // TestSeedingRemoval is the sanity check that flushepoch really guards the
 // annotated contract sites: deleting the drain call from gc's return path
 // must produce a flushepoch finding. The mutation happens on a copy in a
 // temp dir; the tree is untouched.
 func TestSeedingRemoval(t *testing.T) {
-	files, packageFile := loadSrcPackage(t)
-
-	var gcFile string
-	for _, f := range files {
-		if filepath.Base(f) == "gc.go" {
-			gcFile = f
-		}
-	}
-	if gcFile == "" {
-		t.Fatal("gc.go not in srccache/internal/src file list")
-	}
-	src, err := os.ReadFile(gcFile)
-	if err != nil {
-		t.Fatal(err)
-	}
-	const drainTail = "_, err := c.drainDirty(at)\n\treturn err"
-	if !strings.Contains(string(src), drainTail) {
-		t.Fatalf("gc.go no longer contains the expected drain tail %q; update this test", drainTail)
-	}
-	mutated := strings.Replace(string(src), drainTail, "return nil", 1)
-	mutatedFile := filepath.Join(t.TempDir(), "gc.go")
-	if err := os.WriteFile(mutatedFile, []byte(mutated), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	for i, f := range files {
-		if f == gcFile {
-			files[i] = mutatedFile
-		}
-	}
-
-	fset := token.NewFileSet()
-	imp := exportImporter(fset, nil, packageFile)
-	diags, err := checkPackage(allAnalyzers, fset, imp, "srccache/internal/src", "", files)
-	if err != nil {
-		t.Fatalf("checkPackage on mutated source: %v", err)
-	}
-	var flushDiags []analysis.Diagnostic
-	for _, d := range diags {
-		if d.Category == "flushepoch" {
-			flushDiags = append(flushDiags, d)
-		}
-	}
+	diags, fset := mutatePackage(t, "srccache/internal/src", "gc.go",
+		"_, err := c.drainDirty(at)\n\treturn err", "return nil")
+	flushDiags := ofCategory(diags, "flushepoch")
 	if len(flushDiags) != 1 {
 		t.Fatalf("want exactly 1 flushepoch diagnostic after removing gc's drain, got %d (all: %v)",
 			len(flushDiags), diags)
@@ -175,5 +213,46 @@ func TestSeedingRemoval(t *testing.T) {
 	}
 	if !strings.Contains(flushDiags[0].Message, "gc") {
 		t.Errorf("message does not name the function: %s", flushDiags[0].Message)
+	}
+}
+
+// TestConfinedSeedingRemoval deletes the handoff guard from
+// Serial.Counters on a copy of internal/engine: the confined analyzer
+// must report exactly that function, once.
+func TestConfinedSeedingRemoval(t *testing.T) {
+	diags, fset := mutatePackage(t, "srccache/internal/engine", "serial.go",
+		"\tif s.e.started.Load() {\n\t\tpanic(\"engine: Serial.Counters after Start; use Engine.Counters\")\n\t}\n", "")
+	confinedDiags := ofCategory(diags, "confined")
+	if len(confinedDiags) != 1 {
+		t.Fatalf("want exactly 1 confined diagnostic after removing the Counters guard, got %d (all: %v)",
+			len(confinedDiags), diags)
+	}
+	posn := fset.Position(confinedDiags[0].Pos)
+	if filepath.Base(posn.Filename) != "serial.go" {
+		t.Errorf("diagnostic at %v, want in serial.go", posn)
+	}
+	if !strings.Contains(confinedDiags[0].Message, "Serial.Counters") {
+		t.Errorf("message does not name Serial.Counters: %s", confinedDiags[0].Message)
+	}
+}
+
+// TestAtomicFreezeSeedingRemoval replaces Close's copy-on-write seal of
+// the routing table with an in-place write on a copy of internal/engine:
+// the atomicfreeze analyzer must report exactly that write, once.
+func TestAtomicFreezeSeedingRemoval(t *testing.T) {
+	diags, fset := mutatePackage(t, "srccache/internal/engine", "engine.go",
+		"e.tab.Store(&table{shards: old.shards, stripeBytes: old.stripeBytes, shardBytes: old.shardBytes, sealed: true})",
+		"old.sealed = true")
+	freezeDiags := ofCategory(diags, "atomicfreeze")
+	if len(freezeDiags) != 1 {
+		t.Fatalf("want exactly 1 atomicfreeze diagnostic after unsealing Close, got %d (all: %v)",
+			len(freezeDiags), diags)
+	}
+	posn := fset.Position(freezeDiags[0].Pos)
+	if filepath.Base(posn.Filename) != "engine.go" {
+		t.Errorf("diagnostic at %v, want in engine.go", posn)
+	}
+	if !strings.Contains(freezeDiags[0].Message, "published via atomic Store") {
+		t.Errorf("message does not explain the freeze contract: %s", freezeDiags[0].Message)
 	}
 }

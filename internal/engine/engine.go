@@ -118,7 +118,7 @@ type op struct {
 type completion struct {
 	pending atomic.Int32
 	err     atomic.Pointer[error]
-	done    chan struct{}
+	done    chan struct{} //srclint:owns finish (closed exactly once, by the last shard)
 }
 
 func newCompletion(parts int32) *completion {
@@ -158,14 +158,17 @@ type shardBatch struct {
 
 // shard is one share-nothing cache partition. Every field below q is owned
 // by the worker goroutine (or by the caller in serial mode — never both:
-// Start hands ownership to the worker).
+// Start hands ownership to the worker). The //srclint:confined annotations
+// make srclint enforce that ownership statically (DESIGN.md §8 rule 8):
+// only shard.run, code it calls, or functions guarded by a started check
+// may touch these fields.
 type shard struct {
 	id int
 	q  chan shardBatch
 
-	cache *src.Cache
-	data  []byte     // payload store; nil unless Options.Payload
-	now   vtime.Time // shard-local virtual clock
+	cache *src.Cache //srclint:confined run
+	data  []byte     //srclint:confined run (payload store; nil unless Options.Payload)
+	now   vtime.Time //srclint:confined run (shard-local virtual clock)
 }
 
 // exec runs one op against the shard, advancing the shard clock.
@@ -268,7 +271,7 @@ type Engine struct {
 	opt Options
 	tab atomic.Pointer[table]
 
-	started  atomic.Bool
+	started  atomic.Bool //srclint:handoff (flipped once by Start; guards the Serial view)
 	inflight atomic.Int64
 	closed   atomic.Bool
 	wg       sync.WaitGroup
@@ -299,13 +302,15 @@ func New(opt Options, build func(shard int) (*src.Cache, error)) (*Engine, error
 		} else if capBytes != shardBytes {
 			return nil, fmt.Errorf("engine: shard %d capacity %d != shard 0 capacity %d", i, capBytes, shardBytes)
 		}
+		var data []byte
+		if opt.Payload {
+			data = make([]byte, capBytes)
+		}
 		shards[i] = &shard{
 			id:    i,
 			q:     make(chan shardBatch, opt.QueueDepth),
 			cache: c,
-		}
-		if opt.Payload {
-			shards[i].data = make([]byte, capBytes)
+			data:  data,
 		}
 	}
 	if shardBytes%stripeBytes != 0 {

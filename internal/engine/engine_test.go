@@ -237,6 +237,21 @@ func TestSerialRefusedAfterStart(t *testing.T) {
 	if _, err := s.Submit(0, blockdev.Request{Op: blockdev.OpRead, Off: 0, Len: 4096}); !errors.Is(err, ErrStarted) {
 		t.Fatalf("serial submit after start: %v", err)
 	}
+	// The read-side accessors race with the worker loops once Start has
+	// handed the shards off, so they must refuse too (by panicking: unlike
+	// Submit they have no error result to return).
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Serial.%s after Start did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Counters", func() { s.Counters() })
+	mustPanic("CacheDevices", func() { s.CacheDevices() })
+	mustPanic("ShardCounters", func() { s.ShardCounters(0) })
 }
 
 func TestCloseRejectsNewWork(t *testing.T) {

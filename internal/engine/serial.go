@@ -75,8 +75,16 @@ func (s *Serial) Flush(at vtime.Time) (vtime.Time, error) {
 	return done, nil
 }
 
-// Counters sums the shard counters.
+// Counters sums the shard counters. Like every Serial method it reads
+// worker-confined state, so it refuses to run once Start has handed the
+// shards to their goroutines; bench.Cache fixes the signature, so the
+// refusal is a panic rather than an error. (The unguarded version of this
+// method was a latent race the confined analyzer surfaced: a counter read
+// concurrent with the workers tears the snapshot.)
 func (s *Serial) Counters() bench.Counters {
+	if s.e.started.Load() {
+		panic("engine: Serial.Counters after Start; use Engine.Counters")
+	}
 	t := s.e.tab.Load()
 	snaps := make([]bench.Counters, len(t.shards))
 	for i, sh := range t.shards {
@@ -88,6 +96,9 @@ func (s *Serial) Counters() bench.Counters {
 // CacheDevices concatenates every shard's SSDs, for device-level traffic
 // accounting.
 func (s *Serial) CacheDevices() []blockdev.Device {
+	if s.e.started.Load() {
+		panic("engine: Serial.CacheDevices after Start")
+	}
 	t := s.e.tab.Load()
 	var devs []blockdev.Device
 	for _, sh := range t.shards {
@@ -98,5 +109,8 @@ func (s *Serial) CacheDevices() []blockdev.Device {
 
 // ShardCounters reports one shard's counters, for per-shard assertions.
 func (s *Serial) ShardCounters(i int) bench.Counters {
+	if s.e.started.Load() {
+		panic("engine: Serial.ShardCounters after Start; use Engine.Counters")
+	}
 	return s.e.tab.Load().shards[i].cache.Counters()
 }

@@ -102,14 +102,14 @@ func TestConcurrentClients(t *testing.T) {
 
 	const clients = 8
 	var wg sync.WaitGroup
-	errs := make(chan error, clients)
+	errs := make([]error, clients)
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			cli, err := Dial(addr.String())
 			if err != nil {
-				errs <- err
+				errs[id] = err
 				return
 			}
 			defer cli.Close()
@@ -117,25 +117,26 @@ func TestConcurrentClients(t *testing.T) {
 			off := int64(id) * 512
 			for rep := 0; rep < 50; rep++ {
 				if _, err := cli.WriteAt(buf, off); err != nil {
-					errs <- err
+					errs[id] = err
 					return
 				}
 				got := make([]byte, 512)
 				if _, err := cli.ReadAt(got, off); err != nil {
-					errs <- err
+					errs[id] = err
 					return
 				}
 				if !bytes.Equal(got, buf) {
-					errs <- fmt.Errorf("client %d: corrupted read", id)
+					errs[id] = fmt.Errorf("client %d: corrupted read", id)
 					return
 				}
 			}
 		}(i)
 	}
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		t.Fatal(err)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

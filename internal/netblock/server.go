@@ -78,7 +78,7 @@ type Server struct {
 
 	lis      net.Listener
 	wg       sync.WaitGroup
-	shutdown chan struct{}
+	shutdown chan struct{} //srclint:owns Close (signal channel: closed once, never sent on)
 	once     sync.Once
 
 	cmu   sync.Mutex
