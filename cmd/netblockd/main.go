@@ -6,11 +6,21 @@
 //
 //	netblockd -addr 127.0.0.1:8700 -size 268435456
 //	netblockd -addr 127.0.0.1:8700 -size 268435456 -shards 8
+//	netblockd -addr 127.0.0.1:8700 -size 16777216 \
+//	    -node a -ring "a=127.0.0.1:8700,b=127.0.0.1:8701,c=127.0.0.1:8702" \
+//	    -replicas 2 -range-bytes 1048576
 //
 // With -shards N the volume is served by the concurrent engine: the LBA
 // space is partitioned across N src.Cache shards with per-shard request
 // queues, instead of one flat in-memory volume behind a lock. -shards 0
 // (the default) keeps the flat volume.
+//
+// With -ring the daemon joins a replicated fleet: the volume is placed on a
+// consistent-hash ring shared by every listed node, and each write this
+// node serves is chain-forwarded to the next owner of its range before the
+// reply — so a fleet client writing to a range's head lands the data on
+// every reachable replica. -node names this daemon's ring identity; -epoch
+// is the ring version advertised to pinging clients.
 //
 // SIGINT or SIGTERM drains gracefully: the listener closes, in-flight
 // requests get -drain to finish, and idle connections are dropped.
@@ -23,9 +33,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"srccache/internal/cluster"
+	"srccache/internal/cluster/fleet"
 	"srccache/internal/engine"
 	"srccache/internal/netblock"
 )
@@ -44,23 +57,51 @@ func main() {
 	}
 }
 
+// parseRing turns "id=addr,id=addr,..." into a member list.
+func parseRing(spec string) ([]cluster.Member, error) {
+	var members []cluster.Member
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("ring entry %q is not id=addr", part)
+		}
+		members = append(members, cluster.Member{ID: id, Addr: addr})
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("ring spec %q lists no members", spec)
+	}
+	return members, nil
+}
+
 // run serves until stop closes; the bound address is sent on ready (if
 // non-nil) once listening.
 func run(args []string, stdout io.Writer, stop <-chan struct{}, ready chan<- net.Addr) error {
 	fs := flag.NewFlagSet("netblockd", flag.ContinueOnError)
 	var (
-		addr   = fs.String("addr", "127.0.0.1:8700", "listen address")
-		size   = fs.Int64("size", 256<<20, "volume size in bytes")
-		shards = fs.Int("shards", 0, "serve through the concurrent engine with this many cache shards (0 = flat volume)")
-		idle   = fs.Duration("idle-timeout", 2*time.Minute, "drop connections idle this long (0 = never)")
-		drain  = fs.Duration("drain", time.Second, "shutdown grace for in-flight requests")
+		addr    = fs.String("addr", "127.0.0.1:8700", "listen address")
+		size    = fs.Int64("size", 256<<20, "volume size in bytes")
+		shards  = fs.Int("shards", 0, "serve through the concurrent engine with this many cache shards (0 = flat volume)")
+		idle    = fs.Duration("idle-timeout", 2*time.Minute, "drop connections idle this long (0 = never)")
+		drain   = fs.Duration("drain", time.Second, "shutdown grace for in-flight requests")
+		node    = fs.String("node", "", "this node's ring identity (requires -ring)")
+		ringStr = fs.String("ring", "", `fleet membership as "id=addr,id=addr,..." (requires -node)`)
+		reps    = fs.Int("replicas", 2, "fleet replication factor")
+		rb      = fs.Int64("range-bytes", 1<<20, "fleet placement-range size in bytes")
+		epoch   = fs.Uint64("epoch", 0, "ring epoch advertised to pinging clients (fleet mode defaults to 1)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if (*node == "") != (*ringStr == "") {
+		return fmt.Errorf("-node and -ring must be given together")
+	}
 
 	var (
-		srv     *netblock.Server
+		backend netblock.Backend
 		backing string
 		eng     *engine.Engine
 	)
@@ -84,27 +125,68 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}, ready chan<- net
 		if err := eng.Start(); err != nil {
 			return err
 		}
-		srv, err = netblock.NewServerWith(eng)
-		if err != nil {
-			eng.Close()
-			return err
-		}
+		backend = eng
 		backing = fmt.Sprintf("engine, %d shards", *shards)
 	} else {
 		var err error
-		srv, err = netblock.NewServer(*size)
+		backend, err = netblock.MemBackend(*size)
 		if err != nil {
 			return err
 		}
 		backing = "flat volume"
 	}
+	cleanup := func() {
+		if eng != nil {
+			eng.Close()
+		}
+	}
+
+	var chain *fleet.ChainBackend
+	if *ringStr != "" {
+		members, err := parseRing(*ringStr)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		if *rb <= 0 || *size%*rb != 0 {
+			cleanup()
+			return fmt.Errorf("size %d does not divide into %d-byte ranges", *size, *rb)
+		}
+		ring, err := cluster.NewRing(*reps, int(*size / *rb), *rb, members)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		if _, ok := ring.Member(*node); !ok {
+			cleanup()
+			return fmt.Errorf("node %q is not in the ring", *node)
+		}
+		chain, err = fleet.NewChainBackend(backend, *node, ring, netblock.ClientOptions{
+			DialTimeout: 2 * time.Second,
+			Timeout:     10 * time.Second,
+		})
+		if err != nil {
+			cleanup()
+			return err
+		}
+		backend = chain
+		backing = fmt.Sprintf("%s; fleet node %s of %d, %d-way", backing, *node, len(members), *reps)
+		if *epoch == 0 {
+			*epoch = 1
+		}
+	}
+
+	srv, err := netblock.NewServerWith(backend)
+	if err != nil {
+		cleanup()
+		return err
+	}
+	srv.SetEpoch(*epoch)
 	srv.IdleTimeout = *idle
 	srv.DrainGrace = *drain
 	bound, err := srv.Listen(*addr)
 	if err != nil {
-		if eng != nil {
-			eng.Close()
-		}
+		cleanup()
 		return err
 	}
 	fmt.Fprintf(stdout, "netblockd: serving %d bytes (%s) on %s\n", *size, backing, bound)
@@ -114,6 +196,11 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}, ready chan<- net
 	<-stop
 	fmt.Fprintln(stdout, "netblockd: shutting down")
 	err = srv.Close()
+	if chain != nil {
+		if cerr := chain.Close(); err == nil {
+			err = cerr
+		}
+	}
 	if eng != nil {
 		if cerr := eng.Close(); err == nil {
 			err = cerr

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"srccache/internal/cluster"
 	"srccache/internal/netblock"
 )
 
@@ -104,6 +105,97 @@ func TestServeEngineMode(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "engine, 4 shards") {
 		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+// TestServeFleetMode boots a two-daemon fleet on loopback and checks that a
+// write to one node chain-forwards to the other: reading the same offset
+// from either daemon returns the same bytes.
+func TestServeFleetMode(t *testing.T) {
+	const (
+		size = int64(1 << 20)
+		rb   = "65536"
+	)
+	// Reserve two loopback ports so the ring spec can be written before
+	// either daemon starts (the bootstrap a config file provides in a real
+	// deployment).
+	var addrs [2]string
+	for i := range addrs {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = lis.Addr().String()
+		lis.Close()
+	}
+	ring := "a=" + addrs[0] + ",b=" + addrs[1]
+
+	stops := [2]chan struct{}{make(chan struct{}), make(chan struct{})}
+	dones := [2]chan error{make(chan error, 1), make(chan error, 1)}
+	var outs [2]bytes.Buffer
+	for i, id := range []string{"a", "b"} {
+		i, id := i, id
+		ready := make(chan net.Addr, 1)
+		go func() {
+			dones[i] <- run([]string{"-addr", addrs[i], "-size", "1048576",
+				"-node", id, "-ring", ring, "-replicas", "2", "-range-bytes", rb,
+				"-drain", "100ms"}, &outs[i], stops[i], ready)
+		}()
+		<-ready
+	}
+
+	// Forwarding is positional — only a chain head pushes down-chain — so
+	// address the write to range 0's head and read it back from the tail.
+	placement, err := cluster.NewRing(2, int(size)/65536, 65536, []cluster.Member{
+		{ID: "a", Addr: addrs[0]}, {ID: "b", Addr: addrs[1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := placement.Owners(0)
+	head, _ := placement.Member(owners[0])
+	tail, _ := placement.Member(owners[1])
+
+	cliHead, err := netblock.Dial(head.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cliHead.Size() != size {
+		t.Fatalf("size %d", cliHead.Size())
+	}
+	if _, err := cliHead.WriteAt([]byte("replicated"), 4096); err != nil {
+		t.Fatal(err)
+	}
+	cliTail, err := netblock.Dial(tail.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 10)
+	if _, err := cliTail.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "replicated" {
+		t.Fatalf("replica read %q", got)
+	}
+	// Fleet mode advertises a nonzero ring epoch in the ping handshake.
+	info, err := cliTail.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 1 {
+		t.Fatalf("epoch %d, want 1", info.Epoch)
+	}
+	cliHead.Close()
+	cliTail.Close()
+
+	for i := range stops {
+		close(stops[i])
+		if err := <-dones[i]; err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(outs[i].String(), "fleet node") {
+			t.Fatalf("daemon %d output:\n%s", i, outs[i].String())
+		}
 	}
 }
 

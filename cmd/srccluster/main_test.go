@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultReport(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-seeds", "2", "-ops", "200"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d with output:\n%s", code, out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "seed   1:") || !strings.Contains(report, "seed   2:") {
+		t.Fatalf("missing per-seed lines:\n%s", report)
+	}
+	if !strings.Contains(report, "2 seeds") || !strings.Contains(report, "0 violated") {
+		t.Fatalf("missing summary:\n%s", report)
+	}
+}
+
+func TestRunSingleSeedVerbose(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-seed", "7", "-ops", "200", "-v"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "seed   7") || !strings.Contains(out.String(), "Kills:") {
+		t.Fatalf("verbose detail missing:\n%s", out.String())
+	}
+}
+
+func TestRunJSONQuietWhenClean(t *testing.T) {
+	// NDJSON mode emits one line per violated seed; a clean sweep emits
+	// nothing, which is what CI greps for.
+	var out bytes.Buffer
+	code, err := run([]string{"-seeds", "2", "-ops", "200", "-json"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean sweep emitted NDJSON:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if code, err := run([]string{"-bogus"}, &out); err == nil || code != 2 {
+		t.Fatalf("bad flag: code %d err %v", code, err)
+	}
+}

@@ -304,6 +304,10 @@ var SimPackages = []string{
 	"internal/torture",
 	"internal/stats",
 	"internal/engine",
+	// The cluster layer's ring, nodes, and churn harness are vtime-pure;
+	// the suffix match deliberately does not bind internal/cluster/fleet,
+	// the wallclock real-TCP subpackage.
+	"internal/cluster",
 }
 
 // RandPackages extends SimPackages with the packages that generate

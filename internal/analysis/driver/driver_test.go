@@ -143,6 +143,11 @@ func TestNetblockSelfClean(t *testing.T) { checkClean(t, "srccache/internal/netb
 // stale //srclint:allow here would fail as a diagnostic.
 func TestStatsSelfClean(t *testing.T) { checkClean(t, "srccache/internal/stats") }
 
+// TestClusterSelfClean holds the replicated-fleet layer to the determinism
+// contract it was added to SimPackages under: the ring, nodes, detector,
+// and churn harness must be vtime-pure (no wall clock, no global rand).
+func TestClusterSelfClean(t *testing.T) { checkClean(t, "srccache/internal/cluster") }
+
 // mutatePackage replaces old with new in the named file of a package copy
 // (the original tree is untouched) and returns the all-analyzer
 // diagnostics for the mutated package.

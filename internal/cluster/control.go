@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"fmt"
+)
+
+// Control is the (deliberately simple) control plane: it owns the
+// authoritative routing table, pushes epochs to nodes over an out-of-band
+// management path, and drives membership changes as explicit state-machine
+// steps so a chaos schedule can interleave failures with an in-flight
+// rebalance.
+//
+// A rebalance is a three-epoch transition. From stable epoch E:
+//
+//	E+1  transition — table carries Cur and Next; writes replicate to the
+//	     union, reads stay on Cur. Control streams each moved range from a
+//	     clean Cur owner to its new owner while both keep serving.
+//	E+2  commit — Cur becomes Next; nodes drop ranges they no longer own.
+//
+// Stale is the control plane's view of which (node, range) copies must not
+// be used as stream sources — wired to the client's degraded tracking by
+// the harness. OnMoved fires after each range lands on its target with a
+// clean copy, letting the client clear the target's degraded mark.
+type Control struct {
+	net     *Net
+	nodes   map[string]*Node
+	table   *Table
+	pending []Move
+
+	// Stale reports whether a copy is unfit as a rebalance source. Nil
+	// means trust every copy.
+	Stale func(node string, rng int) bool
+	// OnMoved is called after a range is streamed to its target.
+	OnMoved func(m Move)
+}
+
+// NewControl builds a control plane with an initial stable ring at epoch 1.
+// Every ring member must already be registered as a node.
+func NewControl(n *Net, ring *Ring) (*Control, error) {
+	c := &Control{net: n, nodes: make(map[string]*Node)}
+	for _, m := range ring.Members() {
+		nd := n.nodes[m.ID]
+		if nd == nil {
+			return nil, fmt.Errorf("cluster: ring member %q has no node", m.ID)
+		}
+		c.nodes[m.ID] = nd
+	}
+	c.table = &Table{Epoch: 1, Cur: ring}
+	c.push()
+	return c, nil
+}
+
+// Table returns the current routing table — what clients fetch, including
+// after an ErrStaleEpoch rejection.
+func (c *Control) Table() *Table { return c.table }
+
+// Adopt registers a spare node with the control plane so a later Join can
+// pull it into the ring (and so Restart can re-push tables to it).
+func (c *Control) Adopt(nd *Node) {
+	c.nodes[nd.id] = nd
+	nd.SetTable(c.table)
+}
+
+// push installs the current table on every alive node. Dead nodes miss the
+// epoch; Restart re-pushes before they serve again, and their stale epoch
+// rejects any request in between.
+func (c *Control) push() {
+	for _, nd := range c.nodes {
+		if nd.alive {
+			nd.SetTable(c.table)
+		}
+	}
+}
+
+// Restart revives a killed node and resynchronizes its routing table —
+// the node rejoins at the current epoch, with whatever data it kept.
+func (c *Control) Restart(id string) error {
+	nd := c.nodes[id]
+	if nd == nil {
+		return fmt.Errorf("cluster: unknown node %q", id)
+	}
+	nd.Restart()
+	nd.SetTable(c.table)
+	return nil
+}
+
+// Rebalancing reports whether a membership transition is in flight.
+func (c *Control) Rebalancing() bool { return !c.table.Stable() }
+
+// PendingMoves returns the transfers the in-flight rebalance still owes.
+func (c *Control) PendingMoves() []Move { return append([]Move(nil), c.pending...) }
+
+// BeginJoin starts pulling member m into the ring. The node must already
+// be adopted and alive.
+func (c *Control) BeginJoin(m Member) error {
+	next, err := c.table.Cur.WithJoin(m)
+	if err != nil {
+		return err
+	}
+	return c.begin(next, m.ID)
+}
+
+// BeginLeave starts a graceful departure: id keeps serving while its
+// ranges stream to their new owners, and drains only after commit.
+func (c *Control) BeginLeave(id string) error {
+	next, err := c.table.Cur.WithLeave(id)
+	if err != nil {
+		return err
+	}
+	return c.begin(next, "")
+}
+
+func (c *Control) begin(next *Ring, joining string) error {
+	if c.Rebalancing() {
+		return fmt.Errorf("cluster: rebalance already in flight")
+	}
+	if joining != "" {
+		nd := c.nodes[joining]
+		if nd == nil {
+			return fmt.Errorf("cluster: joining node %q not adopted", joining)
+		}
+		if !nd.alive {
+			return fmt.Errorf("cluster: joining node %q is down", joining)
+		}
+	}
+	c.table = &Table{Epoch: c.table.Epoch + 1, Cur: c.table.Cur, Next: next}
+	c.pending = Moves(c.table.Cur, next)
+	c.push()
+	return nil
+}
+
+// RebalanceStep streams the next pending range to its new owner, charging
+// the data path (source link out, target link in) for the full range. A
+// step whose target is unreachable re-queues the move at the back and
+// reports the failure so the schedule can heal or abort; a range with no
+// data anywhere (never written) completes trivially.
+func (c *Control) RebalanceStep() error {
+	if len(c.pending) == 0 {
+		return fmt.Errorf("cluster: no pending moves")
+	}
+	mv := c.pending[0]
+	c.pending = c.pending[1:]
+
+	// Pick the stream source: a live, reachable Cur owner holding a copy
+	// the client has not quarantined. Streaming from a degraded copy would
+	// install stale bytes on the target while OnMoved marks it clean — the
+	// exact corruption anti-entropy exists to prevent.
+	var src *Node
+	hasData := false
+	for _, id := range c.table.Cur.Owners(mv.Range) {
+		nd := c.nodes[id]
+		if nd == nil {
+			continue
+		}
+		if _, ok := nd.HashRange(mv.Range); !ok {
+			continue
+		}
+		hasData = true
+		if !nd.alive || !c.net.Reachable(mv.Target, id) {
+			continue
+		}
+		if c.Stale != nil && c.Stale(id, mv.Range) {
+			continue
+		}
+		src = nd
+		break
+	}
+	tgt := c.nodes[mv.Target]
+	if tgt == nil || !tgt.alive {
+		c.pending = append(c.pending, mv)
+		return fmt.Errorf("cluster: move target %q down", mv.Target)
+	}
+	if src == nil {
+		if hasData {
+			// The range is written but every copy is dead, unreachable, or
+			// quarantined right now. "No clean source" must not be read as
+			// "never written" — requeue and stream once a copy recovers.
+			c.pending = append(c.pending, mv)
+			return fmt.Errorf("cluster: no clean source for range %d", mv.Range)
+		}
+		// No owner holds data: the range was never written, so there is
+		// nothing to stream and the target is trivially complete.
+		if c.OnMoved != nil {
+			c.OnMoved(mv)
+		}
+		return nil
+	}
+	data := src.rangeCopy(mv.Range)
+	c.net.reply(src.id, int64(len(data)))
+	if _, err := c.net.hop(src.id, mv.Target, int64(len(data))); err != nil {
+		c.pending = append(c.pending, mv)
+		return fmt.Errorf("cluster: streaming range %d to %q: %w", mv.Range, mv.Target, err)
+	}
+	tgt.ApplyRange(mv.Range, data)
+	if c.OnMoved != nil {
+		c.OnMoved(mv)
+	}
+	return nil
+}
+
+// Commit finishes the rebalance: every move must have streamed. The new
+// placement becomes Cur and nodes drop ranges they no longer own.
+func (c *Control) Commit() error {
+	if !c.Rebalancing() {
+		return fmt.Errorf("cluster: no rebalance to commit")
+	}
+	if len(c.pending) > 0 {
+		return fmt.Errorf("cluster: %d moves still pending", len(c.pending))
+	}
+	c.table = &Table{Epoch: c.table.Epoch + 1, Cur: c.table.Next}
+	c.pending = nil
+	c.push()
+	return nil
+}
+
+// Abort cancels an in-flight rebalance, returning to the old placement at
+// a fresh epoch. Ranges already streamed stay on their targets as garbage
+// until some later transition or drop — harmless, since the old ring never
+// routes to them.
+func (c *Control) Abort() error {
+	if !c.Rebalancing() {
+		return fmt.Errorf("cluster: no rebalance to abort")
+	}
+	c.table = &Table{Epoch: c.table.Epoch + 1, Cur: c.table.Cur}
+	c.pending = nil
+	c.push()
+	return nil
+}
+
+// Node returns a registered node by ID (nil if unknown) — the harness uses
+// it to drive kills and restarts.
+func (c *Control) Node(id string) *Node { return c.nodes[id] }

@@ -1,0 +1,420 @@
+package fleet_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"srccache/internal/cluster"
+	"srccache/internal/cluster/fleet"
+	"srccache/internal/netblock"
+)
+
+// The fleet tests run the chain protocol over real TCP on loopback: every
+// node is a live netblock server whose backend is a ChainBackend, and the
+// Fleet client drives it exactly as an initiator would. Backends are held
+// in-process so replica contents can be checked without trusting the
+// network path under test.
+
+const (
+	tRanges     = 8
+	tRangeBytes = int64(4096)
+)
+
+func dialOpts() netblock.ClientOptions {
+	return netblock.ClientOptions{DialTimeout: time.Second, Timeout: 2 * time.Second}
+}
+
+type tnode struct {
+	id    string
+	addr  string
+	back  netblock.Backend
+	chain *fleet.ChainBackend
+	srv   *netblock.Server
+}
+
+func mkRing(t *testing.T, replicas int, members []cluster.Member) *cluster.Ring {
+	t.Helper()
+	r, err := cluster.NewRing(replicas, tRanges, tRangeBytes, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func startNode(t *testing.T, id string, ring *cluster.Ring) *tnode {
+	t.Helper()
+	back, err := netblock.MemBackend(ring.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := fleet.NewChainBackend(back, id, ring, dialOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netblock.NewServerWith(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &tnode{id: id, addr: addr.String(), back: back, chain: chain, srv: srv}
+	t.Cleanup(func() {
+		n.srv.Close()
+		n.chain.Close()
+	})
+	return n
+}
+
+// startFleet boots ids as live servers, then rebuilds the ring with their
+// bound addresses and installs it everywhere — the bootstrap two-step a real
+// deployment does with a config file instead.
+func startFleet(t *testing.T, ids []string, replicas int) (map[string]*tnode, *cluster.Ring, *fleet.Fleet) {
+	t.Helper()
+	var boot []cluster.Member
+	for _, id := range ids {
+		boot = append(boot, cluster.Member{ID: id})
+	}
+	bootRing := mkRing(t, replicas, boot)
+	nodes := make(map[string]*tnode, len(ids))
+	var members []cluster.Member
+	for _, id := range ids {
+		nodes[id] = startNode(t, id, bootRing)
+		members = append(members, cluster.Member{ID: id, Addr: nodes[id].addr})
+	}
+	ring := mkRing(t, replicas, members)
+	for _, n := range nodes {
+		if err := n.chain.SetRing(ring); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl, err := fleet.New(ring, dialOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fl.Close() })
+	return nodes, ring, fl
+}
+
+// restartNode brings a killed node back on its old address, optionally with
+// a wiped (fresh) backend.
+func restartNode(t *testing.T, n *tnode, ring *cluster.Ring, wipe bool) {
+	t.Helper()
+	n.srv.Close()
+	n.chain.Close()
+	if wipe {
+		back, err := netblock.MemBackend(ring.Size())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.back = back
+	}
+	chain, err := fleet.NewChainBackend(n.back, n.id, ring, dialOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netblock.NewServerWith(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen(n.addr); err != nil {
+		t.Fatalf("rebind %s: %v", n.addr, err)
+	}
+	n.chain, n.srv = chain, srv
+	t.Cleanup(func() {
+		srv.Close()
+		chain.Close()
+	})
+}
+
+// fill writes a seeded pattern over the whole volume through the fleet and
+// returns the model bytes.
+func fill(t *testing.T, fl *fleet.Fleet, ring *cluster.Ring, seed int64) []byte {
+	t.Helper()
+	model := make([]byte, ring.Size())
+	rand.New(rand.NewSource(seed)).Read(model)
+	if err := fl.WriteAt(model, 0); err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// rangeSlice cuts range rng out of a model volume.
+func rangeSlice(model []byte, rng int) []byte {
+	return model[int64(rng)*tRangeBytes : (int64(rng)+1)*tRangeBytes]
+}
+
+// backendRange reads range rng straight off a node's in-process backend.
+func backendRange(t *testing.T, n *tnode, rng int) []byte {
+	t.Helper()
+	buf := make([]byte, tRangeBytes)
+	if err := n.back.ReadAt(buf, int64(rng)*tRangeBytes); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestChainReplicatesToEveryOwner(t *testing.T) {
+	nodes, ring, fl := startFleet(t, []string{"a", "b", "c", "d"}, 2)
+	model := fill(t, fl, ring, 1)
+
+	for rng := 0; rng < tRanges; rng++ {
+		owners := ring.Owners(rng)
+		if len(owners) != 2 {
+			t.Fatalf("range %d: %d owners", rng, len(owners))
+		}
+		isOwner := map[string]bool{}
+		for _, id := range owners {
+			isOwner[id] = true
+			if got := backendRange(t, nodes[id], rng); !bytes.Equal(got, rangeSlice(model, rng)) {
+				t.Fatalf("range %d: replica %s diverges from model", rng, id)
+			}
+		}
+		zero := make([]byte, tRangeBytes)
+		for id, n := range nodes {
+			if !isOwner[id] && !bytes.Equal(backendRange(t, n, rng), zero) {
+				t.Fatalf("range %d: non-owner %s holds data", rng, id)
+			}
+		}
+	}
+
+	got := make([]byte, ring.Size())
+	if err := fl.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("fleet read diverges from model")
+	}
+
+	var forwards, errs int64
+	for _, n := range nodes {
+		ok, failed := n.chain.Forwards()
+		forwards += ok
+		errs += failed
+	}
+	if forwards == 0 {
+		t.Fatal("no chain forwards recorded")
+	}
+	if errs != 0 {
+		t.Fatalf("%d forward failures on a healthy fleet", errs)
+	}
+}
+
+func TestFleetFailsOverWhenHeadDies(t *testing.T) {
+	nodes, ring, fl := startFleet(t, []string{"a", "b", "c", "d"}, 2)
+	model := fill(t, fl, fl.Ring(), 2)
+
+	victim := ring.Owners(0)[0]
+	nodes[victim].srv.Close()
+
+	// Reads of every range still serve: ranges headed by the victim fail
+	// over to their surviving replica.
+	got := make([]byte, ring.Size())
+	if err := fl.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("post-kill read diverges from model")
+	}
+
+	// Writes, too: the survivor becomes the chain head.
+	patch := bytes.Repeat([]byte{0xEE}, 512)
+	if err := fl.WriteAt(patch, 0); err != nil {
+		t.Fatal(err)
+	}
+	var alive *tnode
+	for _, id := range ring.Owners(0) {
+		if id != victim {
+			alive = nodes[id]
+		}
+	}
+	if !bytes.Equal(backendRange(t, alive, 0)[:512], patch) {
+		t.Fatal("failover write missed the surviving replica")
+	}
+	if fl.Stats().Failovers == 0 {
+		t.Fatal("no failovers recorded")
+	}
+}
+
+func TestFleetRepairAfterWipeRestart(t *testing.T) {
+	nodes, ring, fl := startFleet(t, []string{"a", "b", "c"}, 2)
+	fill(t, fl, ring, 3)
+
+	// Kill b, keep writing (chains that include b miss it), then bring b
+	// back with an empty disk — the wipe-restart the simulation quarantines.
+	nodes["b"].srv.Close()
+	model := fill(t, fl, fl.Ring(), 4)
+	restartNode(t, nodes["b"], ring, true)
+
+	for rng := 0; rng < tRanges; rng++ {
+		if !ring.OwnedBy(rng, "b") {
+			continue
+		}
+		if err := fl.RepairRange("b", rng); err != nil {
+			t.Fatalf("repair range %d: %v", rng, err)
+		}
+		if got := backendRange(t, nodes["b"], rng); !bytes.Equal(got, rangeSlice(model, rng)) {
+			t.Fatalf("range %d on b not byte-identical after repair", rng)
+		}
+	}
+	if fl.Stats().Repairs == 0 {
+		t.Fatal("no repairs recorded")
+	}
+
+	// The healed node serves forwards again: a fresh write reaches it
+	// through the redialed chain.
+	patch := bytes.Repeat([]byte{0x5A}, 256)
+	var headed int
+	for rng := 0; rng < tRanges; rng++ {
+		if owners := ring.Owners(rng); len(owners) == 2 && owners[1] == "b" {
+			if err := fl.WriteAt(patch, int64(rng)*tRangeBytes); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(backendRange(t, nodes["b"], rng)[:256], patch) {
+				t.Fatalf("range %d: post-restart forward missed b", rng)
+			}
+			headed++
+		}
+	}
+	if headed == 0 {
+		t.Skip("no range places b as tail; ring layout makes this pass vacuous")
+	}
+}
+
+func TestFleetRebalanceJoinAndRingSwap(t *testing.T) {
+	nodes, ring, fl := startFleet(t, []string{"a", "b", "c"}, 2)
+	model := fill(t, fl, ring, 5)
+
+	// Boot the joiner as a spare: it serves (and forwards nothing) under the
+	// old ring, which does not list it.
+	spare := startNode(t, "d", ring)
+	nodes["d"] = spare
+	next, err := ring.WithJoin(cluster.Member{ID: "d", Addr: spare.addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	moves := cluster.Moves(ring, next)
+	if len(moves) == 0 {
+		t.Fatal("join moved nothing; ring layout makes this pass vacuous")
+	}
+	if err := fl.Rebalance(ring, next); err != nil {
+		t.Fatal(err)
+	}
+	for _, mv := range moves {
+		if got := backendRange(t, nodes[mv.Target], mv.Range); !bytes.Equal(got, rangeSlice(model, mv.Range)) {
+			t.Fatalf("range %d not streamed to %s", mv.Range, mv.Target)
+		}
+	}
+
+	// Commit: swap the ring on every node and the client; bump the epoch
+	// the servers advertise.
+	for _, n := range nodes {
+		if err := n.chain.SetRing(next); err != nil {
+			t.Fatal(err)
+		}
+		n.srv.SetEpoch(2)
+	}
+	if err := fl.SetRing(next); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]byte, next.Size())
+	if err := fl.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("post-join read diverges from model")
+	}
+	info, err := fl.Ping("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 2 {
+		t.Fatalf("joiner advertises epoch %d, want 2", info.Epoch)
+	}
+
+	// Writes now replicate on the new placement.
+	patch := bytes.Repeat([]byte{0x77}, 128)
+	for _, mv := range moves {
+		off := int64(mv.Range) * tRangeBytes
+		if err := fl.WriteAt(patch, off); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(backendRange(t, nodes[mv.Target], mv.Range)[:128], patch) {
+			t.Fatalf("range %d: post-commit write missed new owner %s", mv.Range, mv.Target)
+		}
+	}
+	if err := fl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainBackendValidation(t *testing.T) {
+	back, err := netblock.MemBackend(int64(tRanges) * tRangeBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := mkRing(t, 2, []cluster.Member{{ID: "a"}, {ID: "b"}})
+	if _, err := fleet.NewChainBackend(nil, "a", ring, dialOpts()); err == nil {
+		t.Fatal("nil backend accepted")
+	}
+	if _, err := fleet.NewChainBackend(back, "", ring, dialOpts()); err == nil {
+		t.Fatal("empty ID accepted")
+	}
+	if _, err := fleet.NewChainBackend(back, "a", nil, dialOpts()); err == nil {
+		t.Fatal("nil ring accepted")
+	}
+	small, err := netblock.MemBackend(tRangeBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.NewChainBackend(small, "a", ring, dialOpts()); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	cb, err := fleet.NewChainBackend(back, "a", ring, dialOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := mkRing(t, 2, []cluster.Member{{ID: "a"}})
+	if err := cb.SetRing(wrong); err != nil {
+		t.Fatal(err) // same geometry, fewer members: fine
+	}
+	bad, err := cluster.NewRing(2, tRanges*2, tRangeBytes, []cluster.Member{{ID: "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cb.SetRing(bad); err == nil {
+		t.Fatal("geometry change accepted")
+	}
+	if _, err := fleet.New(nil, dialOpts()); err == nil {
+		t.Fatal("nil ring fleet accepted")
+	}
+	fl, err := fleet.New(ring, dialOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.WriteAt(make([]byte, 8), ring.Size()); err == nil {
+		t.Fatal("out-of-volume write accepted")
+	}
+}
+
+func TestFleetErrorWhenAllReplicasDead(t *testing.T) {
+	nodes, ring, fl := startFleet(t, []string{"a", "b", "c"}, 2)
+	fill(t, fl, ring, 6)
+	for _, id := range ring.Owners(0) {
+		nodes[id].srv.Close()
+	}
+	buf := make([]byte, 64)
+	err := fl.ReadAt(buf, 0)
+	if err == nil {
+		t.Fatal("read served with every replica dead")
+	}
+	if want := fmt.Sprintf("range %d", 0); !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Fatalf("error %q does not name the range", err)
+	}
+}

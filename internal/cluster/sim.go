@@ -1,0 +1,738 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"srccache/internal/netlink"
+	"srccache/internal/stats"
+	"srccache/internal/vtime"
+)
+
+// SimConfig parameterizes one churn run. Everything is derived from Seed,
+// so a run is a pure function of its config.
+type SimConfig struct {
+	Seed       int64
+	Nodes      int   // initial ring size (default 5)
+	Spares     int   // nodes standing by to join (default 1)
+	Replicas   int   // replication factor (default 3)
+	Ranges     int   // placement ranges (default 16)
+	RangeBytes int64 // bytes per range (default 64 KiB)
+	Ops        int   // client operations to issue (default 400)
+	ChurnEvery int   // chaos tick every this many ops (default 20)
+	Link       netlink.Config
+	Detector   DetectorConfig
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 5
+	}
+	if c.Spares == 0 {
+		c.Spares = 1
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.Ranges == 0 {
+		c.Ranges = 16
+	}
+	if c.RangeBytes == 0 {
+		c.RangeBytes = 64 << 10
+	}
+	if c.Ops == 0 {
+		c.Ops = 400
+	}
+	if c.ChurnEvery == 0 {
+		c.ChurnEvery = 20
+	}
+	if c.Link.RTT == 0 {
+		c.Link.RTT = 200 * vtime.Microsecond
+	}
+	if c.Link.Jitter == 0 {
+		c.Link.Jitter = 10 * vtime.Microsecond
+	}
+	if c.Link.Seed == 0 {
+		c.Link.Seed = c.Seed
+	}
+	if c.Detector.Baseline == 0 {
+		c.Detector.Baseline = 2 * c.Link.RTT
+	}
+	if c.Detector.FailAfter == 0 {
+		c.Detector.FailAfter = 2
+	}
+	return c
+}
+
+// Result is one run's evidence: coverage counters for every fault class
+// the schedule injected, the invariant violations observed (which must be
+// zero), and client-side latency digests.
+type Result struct {
+	Seed    int64
+	Elapsed vtime.Duration
+
+	Ops, Reads, Writes int
+	FailedOps          int // ops that failed while a healthy replica existed — must be 0
+	VerifyErrors       int // reads or final hashes that mismatched the model — must be 0
+
+	Kills, Restarts, Wipes       int
+	Degrades, LinkHeals          int
+	Partitions, PartitionHeals   int
+	Joins, Leaves, Commits       int
+	Aborts, MovesStreamed        int
+	StepFailures, GuardSkips     int
+	RepairRounds, RangesRepaired int
+
+	DownDetected, SlowDetected bool
+
+	Client   ClientStats
+	ReadLat  stats.Summary
+	WriteLat stats.Summary
+}
+
+// Signature digests the run for determinism comparisons: two runs of the
+// same config must produce identical signatures.
+func (r Result) Signature() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", r)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Violations summarizes the hard failures, empty when the run upheld every
+// invariant.
+func (r Result) Violations() []string {
+	var v []string
+	if r.FailedOps > 0 {
+		v = append(v, fmt.Sprintf("%d client ops failed with a healthy replica available", r.FailedOps))
+	}
+	if r.VerifyErrors > 0 {
+		v = append(v, fmt.Sprintf("%d acknowledged writes lost or misread", r.VerifyErrors))
+	}
+	return v
+}
+
+// sim is one run's mutable state.
+type sim struct {
+	cfg    SimConfig
+	rng    *rand.Rand
+	net    *Net
+	ctrl   *Control
+	client *Client
+	res    Result
+
+	model     []byte       // the acknowledged contents of the volume
+	acked     map[int]bool // ranges with at least one acknowledged write
+	ackedList []int        // same, in append order for seeded picking
+
+	spares    []string // adopted nodes outside the ring
+	downed    []string // killed nodes awaiting restart
+	slowed    []string // nodes with degraded links
+	cuts      [][2]string
+	joining   string // spare being pulled in by the in-flight join
+	leaving   string // member being drained by the in-flight leave
+	stepFails int    // failed rebalance steps since Begin
+	readLat   stats.Histogram
+	writeLat  stats.Histogram
+}
+
+// Sim runs one seeded churn schedule against a fresh cluster and reports
+// what happened. The schedule is guarded: before every destructive action
+// it verifies each acknowledged range keeps at least one alive,
+// client-reachable, non-degraded current owner — so zero failed operations
+// and zero lost writes are absolute invariants, not probabilistic ones.
+func Sim(cfg SimConfig) (Result, error) {
+	cfg = cfg.withDefaults()
+	s := &sim{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		acked: make(map[int]bool),
+	}
+	s.res.Seed = cfg.Seed
+	if err := s.setup(); err != nil {
+		return s.res, err
+	}
+	s.model = make([]byte, s.ctrl.Table().Cur.Size())
+
+	for i := 0; i < cfg.Ops; i++ {
+		if i%cfg.ChurnEvery == 0 {
+			s.churnTick()
+		}
+		s.clientOp()
+		s.net.Advance(50 * vtime.Microsecond)
+	}
+	if err := s.drain(); err != nil {
+		return s.res, err
+	}
+	s.finalVerify()
+
+	s.res.Elapsed = s.net.Now().Sub(0)
+	s.res.Client = s.client.Stats()
+	s.res.ReadLat = s.readLat.Summarize()
+	s.res.WriteLat = s.writeLat.Summarize()
+	return s.res, nil
+}
+
+func (s *sim) setup() error {
+	net, err := NewNet(s.cfg.Link)
+	if err != nil {
+		return err
+	}
+	s.net = net
+	var members []Member
+	for i := 0; i < s.cfg.Nodes+s.cfg.Spares; i++ {
+		id := fmt.Sprintf("n%02d", i)
+		if _, err := NewNode(net, id); err != nil {
+			return err
+		}
+		if i < s.cfg.Nodes {
+			members = append(members, Member{ID: id})
+		} else {
+			s.spares = append(s.spares, id)
+		}
+	}
+	ring, err := NewRing(s.cfg.Replicas, s.cfg.Ranges, s.cfg.RangeBytes, members)
+	if err != nil {
+		return err
+	}
+	ctrl, err := NewControl(net, ring)
+	if err != nil {
+		return err
+	}
+	s.ctrl = ctrl
+	for _, id := range s.spares {
+		ctrl.Adopt(net.nodes[id])
+	}
+	cli, err := NewClient(net, ctrl.Table, NewDetector(s.cfg.Detector))
+	if err != nil {
+		return err
+	}
+	s.client = cli
+	ctrl.Stale = cli.Degraded
+	ctrl.OnMoved = func(m Move) {
+		// The target now holds a clean streamed copy; lift its quarantine.
+		delete(cli.degraded, DegKey{m.Target, m.Range})
+		s.res.MovesStreamed++
+	}
+	return nil
+}
+
+// clientOp issues one read or write against the cluster and mirrors it
+// into the model volume.
+func (s *sim) clientOp() {
+	write := len(s.ackedList) == 0 || s.rng.Intn(100) < 45
+	if write {
+		off, n := s.pickExtent(true)
+		p := make([]byte, n)
+		s.rng.Read(p)
+		t0 := s.net.Now()
+		err := s.client.WriteAt(p, off)
+		s.writeLat.Observe(s.net.Now().Sub(t0))
+		s.res.Ops++
+		if err != nil {
+			s.res.FailedOps++
+			return
+		}
+		s.res.Writes++
+		copy(s.model[off:], p)
+		for rng := int(off / s.cfg.RangeBytes); rng <= int((off+n-1)/s.cfg.RangeBytes); rng++ {
+			if !s.acked[rng] {
+				s.acked[rng] = true
+				s.ackedList = append(s.ackedList, rng)
+			}
+		}
+		return
+	}
+	off, n := s.pickExtent(false)
+	p := make([]byte, n)
+	t0 := s.net.Now()
+	err := s.client.ReadAt(p, off)
+	s.readLat.Observe(s.net.Now().Sub(t0))
+	s.res.Ops++
+	if err != nil {
+		s.res.FailedOps++
+		return
+	}
+	s.res.Reads++
+	for i := range p {
+		if p[i] != s.model[off+int64(i)] {
+			s.res.VerifyErrors++
+			break
+		}
+	}
+}
+
+// pickExtent chooses a (possibly range-crossing) extent. Writes roam the
+// whole volume; reads stay within acknowledged ranges so an absent range
+// is never a legal miss.
+func (s *sim) pickExtent(write bool) (off, n int64) {
+	rb := s.cfg.RangeBytes
+	var rng int
+	if write {
+		rng = s.rng.Intn(s.cfg.Ranges)
+	} else {
+		rng = s.ackedList[s.rng.Intn(len(s.ackedList))]
+	}
+	base := int64(rng) * rb
+	maxBlocks := rb / 512
+	if maxBlocks > 8 {
+		maxBlocks = 8
+	}
+	n = int64(1+s.rng.Intn(int(maxBlocks))) * 512
+	// Occasionally straddle the boundary into the next range to exercise
+	// the client's extent splitting (reads only where the next range is
+	// also acknowledged, so the miss is never legal).
+	cross := rng+1 < s.cfg.Ranges && rb >= 1024 && s.rng.Intn(10) == 0
+	if !write && !s.acked[rng+1] {
+		cross = false
+	}
+	if cross {
+		return base + rb - 512, 1024
+	}
+	slots := int((rb - n) / 512)
+	if slots <= 0 {
+		return base, n
+	}
+	return base + int64(s.rng.Intn(slots+1))*512, n
+}
+
+// cleanOwner reports whether range rng keeps at least one alive,
+// client-reachable, non-quarantined current owner holding its data, with
+// the hypothetical exclusions applied (nodes about to die or be cut off).
+func (s *sim) cleanOwner(rng int, excluded map[string]bool) bool {
+	for _, id := range s.ctrl.Table().Cur.Owners(rng) {
+		if excluded[id] {
+			continue
+		}
+		nd := s.net.nodes[id]
+		if nd == nil || !nd.alive || !s.net.Reachable("client", id) {
+			continue
+		}
+		if s.client.Degraded(id, rng) {
+			continue
+		}
+		if s.acked[rng] {
+			if _, ok := nd.HashRange(rng); !ok {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// safeWithout is the schedule guard: would every acknowledged range still
+// have a clean current owner if these nodes vanished?
+func (s *sim) safeWithout(excluded map[string]bool) bool {
+	for _, rng := range s.ackedList {
+		if !s.cleanOwner(rng, excluded) {
+			return false
+		}
+	}
+	return true
+}
+
+// ringMembers returns the current ring membership IDs.
+func (s *sim) ringMembers() []string {
+	var ids []string
+	for _, m := range s.ctrl.Table().Cur.Members() {
+		ids = append(ids, m.ID)
+	}
+	return ids
+}
+
+// churnTick runs the background machinery (ping sweep, detector coverage,
+// rebalance progress) and injects one guarded chaos action.
+func (s *sim) churnTick() {
+	s.client.PingAll()
+	down, slow := s.client.Detector().Classified()
+	if len(down) > 0 {
+		s.res.DownDetected = true
+	}
+	if len(slow) > 0 {
+		s.res.SlowDetected = true
+	}
+	s.advanceRebalance()
+	s.chaosAction()
+	s.net.Advance(vtime.Millisecond)
+}
+
+// commitSafe reports whether the pending placement keeps the read
+// invariant: every acknowledged range must have at least one alive,
+// client-reachable, non-quarantined new owner holding its data. Committing
+// without this would strand a range on all-degraded copies — the leaver or
+// dropper may hold the only clean bytes.
+func (s *sim) commitSafe() bool {
+	next := s.ctrl.Table().Next
+	if next == nil {
+		return false
+	}
+	for _, rng := range s.ackedList {
+		ok := false
+		for _, id := range next.Owners(rng) {
+			nd := s.net.nodes[id]
+			if nd == nil || !nd.alive || !s.net.Reachable("client", id) {
+				continue
+			}
+			if s.client.Degraded(id, rng) {
+				continue
+			}
+			if _, has := nd.HashRange(rng); !has {
+				continue
+			}
+			ok = true
+			break
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// advanceRebalance pushes an in-flight transition forward: stream a couple
+// of moves, commit when done and safe, abort when stuck.
+func (s *sim) advanceRebalance() {
+	if !s.ctrl.Rebalancing() {
+		return
+	}
+	for i := 0; i < 2 && len(s.ctrl.PendingMoves()) > 0; i++ {
+		if err := s.ctrl.RebalanceStep(); err != nil {
+			s.stepFails++
+			s.res.StepFailures++
+		}
+	}
+	if len(s.ctrl.PendingMoves()) == 0 {
+		if s.commitSafe() {
+			if err := s.ctrl.Commit(); err == nil {
+				s.res.Commits++
+				s.finishTransition(false)
+				return
+			}
+		}
+		// A streamed target regressed (killed or re-quarantined after its
+		// stream). Try to heal it; give up on the transition if it stays
+		// unsafe — the old placement is still fully served.
+		s.stepFails++
+		s.actRepair()
+	}
+	if s.stepFails > 16 {
+		if err := s.ctrl.Abort(); err == nil {
+			s.res.Aborts++
+			s.finishTransition(true)
+		}
+	}
+}
+
+// finishTransition books membership changes once a transition ends.
+func (s *sim) finishTransition(aborted bool) {
+	s.stepFails = 0
+	if s.joining != "" {
+		if aborted {
+			s.spares = append(s.spares, s.joining)
+		}
+		s.joining = ""
+	}
+	if s.leaving != "" {
+		if !aborted {
+			s.spares = append(s.spares, s.leaving)
+		}
+		s.leaving = ""
+	}
+}
+
+// chaosAction injects one seeded, guarded fault or recovery.
+func (s *sim) chaosAction() {
+	switch s.rng.Intn(10) {
+	case 0, 1:
+		s.actKill()
+	case 2:
+		s.actRestart()
+	case 3:
+		s.actWipe()
+	case 4:
+		s.actDegrade()
+	case 5:
+		s.actHealLink()
+	case 6:
+		s.actPartition()
+	case 7:
+		s.actHealPartition()
+	case 8:
+		s.actMembership()
+	case 9:
+		s.actRepair()
+	}
+}
+
+func (s *sim) actKill() {
+	alive := s.aliveMembers()
+	if len(alive) == 0 {
+		return
+	}
+	victim := alive[s.rng.Intn(len(alive))]
+	if !s.safeWithout(map[string]bool{victim: true}) {
+		s.res.GuardSkips++
+		return
+	}
+	s.net.nodes[victim].Kill()
+	s.downed = append(s.downed, victim)
+	s.res.Kills++
+}
+
+func (s *sim) actRestart() {
+	if len(s.downed) == 0 {
+		return
+	}
+	i := s.rng.Intn(len(s.downed))
+	id := s.downed[i]
+	s.downed = append(s.downed[:i], s.downed[i+1:]...)
+	if err := s.ctrl.Restart(id); err == nil {
+		s.res.Restarts++
+	}
+}
+
+// actWipe replaces a node's disk: data gone, process up. Every
+// acknowledged range the node writes for is quarantined until repair.
+func (s *sim) actWipe() {
+	alive := s.aliveMembers()
+	if len(alive) == 0 {
+		return
+	}
+	victim := alive[s.rng.Intn(len(alive))]
+	if !s.safeWithout(map[string]bool{victim: true}) {
+		s.res.GuardSkips++
+		return
+	}
+	s.net.nodes[victim].Wipe()
+	for _, rng := range s.ackedList {
+		if s.ctrl.Table().writeOwned(rng, victim) {
+			s.client.MarkDegraded(victim, rng)
+		}
+	}
+	s.res.Wipes++
+}
+
+func (s *sim) actDegrade() {
+	alive := s.aliveMembers()
+	if len(alive) == 0 {
+		return
+	}
+	id := alive[s.rng.Intn(len(alive))]
+	s.net.Link(id).Degrade(float64(10 + s.rng.Intn(20)))
+	s.slowed = append(s.slowed, id)
+	s.res.Degrades++
+}
+
+func (s *sim) actHealLink() {
+	if len(s.slowed) == 0 {
+		return
+	}
+	i := s.rng.Intn(len(s.slowed))
+	s.net.Link(s.slowed[i]).Degrade(1)
+	s.slowed = append(s.slowed[:i], s.slowed[i+1:]...)
+	s.res.LinkHeals++
+}
+
+func (s *sim) actPartition() {
+	// Half the cuts isolate the client from a node, half cut node-to-node
+	// (breaking chain forwards and rebalance streams instead of routing).
+	members := s.ringMembers()
+	if len(members) < 2 {
+		return
+	}
+	a := "client"
+	b := members[s.rng.Intn(len(members))]
+	if s.rng.Intn(2) == 0 {
+		a = members[s.rng.Intn(len(members))]
+		if a == b {
+			return
+		}
+	} else if !s.safeWithout(map[string]bool{b: true}) {
+		// Only the client-facing cut removes b from the read path; the
+		// guard need not run for node-to-node cuts (the write head stays
+		// clean and reachable).
+		s.res.GuardSkips++
+		return
+	}
+	if s.net.Partitioned(a, b) {
+		return
+	}
+	s.net.Partition(a, b)
+	s.cuts = append(s.cuts, [2]string{a, b})
+	s.res.Partitions++
+}
+
+func (s *sim) actHealPartition() {
+	if len(s.cuts) == 0 {
+		return
+	}
+	i := s.rng.Intn(len(s.cuts))
+	cut := s.cuts[i]
+	s.cuts = append(s.cuts[:i], s.cuts[i+1:]...)
+	s.net.Heal(cut[0], cut[1])
+	s.res.PartitionHeals++
+}
+
+// actMembership starts a join or leave when none is in flight, and
+// quarantines every move target until its range streams — a new owner
+// that has not been streamed yet holds at best a partial copy.
+func (s *sim) actMembership() {
+	if s.ctrl.Rebalancing() {
+		return
+	}
+	members := s.ringMembers()
+	join := len(s.spares) > 0 && (s.rng.Intn(2) == 0 || len(members) <= s.cfg.Replicas)
+	if join {
+		id := s.spares[0]
+		if !s.net.nodes[id].alive {
+			return
+		}
+		if err := s.ctrl.BeginJoin(Member{ID: id}); err != nil {
+			return
+		}
+		s.spares = s.spares[1:]
+		s.joining = id
+		s.res.Joins++
+	} else {
+		if len(members) <= s.cfg.Replicas {
+			return
+		}
+		id := members[s.rng.Intn(len(members))]
+		if !s.net.nodes[id].alive || id == s.leaving {
+			return
+		}
+		if err := s.ctrl.BeginLeave(id); err != nil {
+			return
+		}
+		s.leaving = id
+		s.res.Leaves++
+	}
+	for _, mv := range s.ctrl.PendingMoves() {
+		if s.acked[mv.Range] {
+			s.client.MarkDegraded(mv.Target, mv.Range)
+		}
+	}
+}
+
+func (s *sim) actRepair() {
+	healed, err := s.client.Repair()
+	if err != nil {
+		s.res.VerifyErrors++
+		return
+	}
+	s.res.RepairRounds++
+	s.res.RangesRepaired += healed
+}
+
+func (s *sim) aliveMembers() []string {
+	var out []string
+	for _, id := range s.ringMembers() {
+		if id != s.joining && id != s.leaving && s.net.nodes[id].alive {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// drain returns the cluster to full health: heal the network, restart the
+// dead, finish or abort the transition, and repair until the quarantine
+// set is empty.
+func (s *sim) drain() error {
+	s.net.HealAll()
+	s.cuts = nil
+	for _, id := range s.slowed {
+		s.net.Link(id).Degrade(1)
+	}
+	s.slowed = nil
+	for _, id := range s.downed {
+		if err := s.ctrl.Restart(id); err != nil {
+			return err
+		}
+		s.res.Restarts++
+	}
+	s.downed = nil
+	for tries := 0; s.ctrl.Rebalancing(); tries++ {
+		if tries > 8*s.cfg.Ranges {
+			if err := s.ctrl.Abort(); err != nil {
+				return err
+			}
+			s.res.Aborts++
+			s.finishTransition(true)
+			break
+		}
+		if len(s.ctrl.PendingMoves()) > 0 {
+			if err := s.ctrl.RebalanceStep(); err != nil {
+				s.res.StepFailures++
+			}
+			continue
+		}
+		if !s.commitSafe() {
+			// A streamed target was re-quarantined; with the fleet healed,
+			// anti-entropy can restore it before the commit.
+			healed, err := s.client.Repair()
+			if err != nil {
+				return err
+			}
+			s.res.RepairRounds++
+			s.res.RangesRepaired += healed
+			continue
+		}
+		if err := s.ctrl.Commit(); err != nil {
+			return err
+		}
+		s.res.Commits++
+		s.finishTransition(false)
+	}
+	for tries := 0; s.client.DegradedCount() > 0; tries++ {
+		if tries > s.cfg.Ranges*(s.cfg.Nodes+s.cfg.Spares) {
+			return fmt.Errorf("cluster: %d quarantined copies unrepairable after drain", s.client.DegradedCount())
+		}
+		healed, err := s.client.Repair()
+		if err != nil {
+			return err
+		}
+		s.res.RepairRounds++
+		s.res.RangesRepaired += healed
+	}
+	return nil
+}
+
+// finalVerify is the no-lost-write acceptance check: every acknowledged
+// range must read back byte-identical to the model through the client, and
+// every current owner must hold a byte-identical copy (anti-entropy has
+// converged the fleet).
+func (s *sim) finalVerify() {
+	for _, rng := range s.ackedList {
+		base := int64(rng) * s.cfg.RangeBytes
+		p := make([]byte, s.cfg.RangeBytes)
+		if err := s.client.ReadAt(p, base); err != nil {
+			s.res.FailedOps++
+			continue
+		}
+		for i := range p {
+			if p[i] != s.model[base+int64(i)] {
+				s.res.VerifyErrors++
+				break
+			}
+		}
+		want := modelRangeHash(rng, s.model[base:base+s.cfg.RangeBytes])
+		for _, id := range s.ctrl.Table().Cur.Owners(rng) {
+			got, ok := s.net.nodes[id].HashRange(rng)
+			if !ok || got != want {
+				s.res.VerifyErrors++
+			}
+		}
+	}
+}
+
+// modelRangeHash mirrors Node.HashRange over the model volume.
+func modelRangeHash(rng int, buf []byte) uint64 {
+	h := fnv.New64a()
+	var key [8]byte
+	binary.BigEndian.PutUint64(key[:], uint64(rng))
+	h.Write(key[:])
+	h.Write(buf)
+	return h.Sum64()
+}

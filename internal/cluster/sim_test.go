@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestClusterChurn is the acceptance harness: every seeded membership-churn
+// schedule — kills, restarts, wipes, fail-slow links, partitions, joins and
+// leaves overlapping in-flight rebalances — must complete with zero
+// acknowledged-write loss and zero failed requests while a healthy replica
+// existed. CLUSTER_SEEDS widens the sweep (CI's cluster job sets it); the
+// default keeps the tier-1 run fast.
+func TestClusterChurn(t *testing.T) {
+	seeds := int64(50)
+	if v := os.Getenv("CLUSTER_SEEDS"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad CLUSTER_SEEDS %q", v)
+		}
+		seeds = n
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, err := Sim(SimConfig{Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := res.Violations(); len(v) != 0 {
+				t.Fatalf("invariants violated: %v\n%+v", v, res)
+			}
+			if res.Reads == 0 || res.Writes == 0 {
+				t.Fatalf("schedule exercised too little: %+v", res)
+			}
+		})
+	}
+}
+
+// TestClusterChurnDeterministic replays one schedule and requires an
+// identical Result, signature included — the property every debugging
+// session depends on.
+func TestClusterChurnDeterministic(t *testing.T) {
+	cfg := SimConfig{Seed: 11, Ops: 600}
+	a, err := Sim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a.Signature() != b.Signature() {
+		t.Fatalf("same seed, different runs:\n  %+v\n  %+v", a, b)
+	}
+	c, err := Sim(SimConfig{Seed: 12, Ops: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Signature() == a.Signature() {
+		t.Fatal("different seeds produced identical signatures")
+	}
+}
+
+// TestClusterChurnCoverage checks that, across a seed sweep, every fault
+// class actually fires and both failure modes are detected — a schedule
+// that never kills or partitions anything proves nothing.
+func TestClusterChurnCoverage(t *testing.T) {
+	var total Result
+	for seed := int64(1); seed <= 16; seed++ {
+		res, err := Sim(SimConfig{Seed: seed, Ops: 800})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total.Kills += res.Kills
+		total.Restarts += res.Restarts
+		total.Wipes += res.Wipes
+		total.Degrades += res.Degrades
+		total.Partitions += res.Partitions
+		total.PartitionHeals += res.PartitionHeals
+		total.Joins += res.Joins
+		total.Leaves += res.Leaves
+		total.Commits += res.Commits
+		total.MovesStreamed += res.MovesStreamed
+		total.RangesRepaired += res.RangesRepaired
+		total.Client.Failovers += res.Client.Failovers
+		total.Client.Refetches += res.Client.Refetches
+		total.Client.PartialWrites += res.Client.PartialWrites
+		total.DownDetected = total.DownDetected || res.DownDetected
+		total.SlowDetected = total.SlowDetected || res.SlowDetected
+	}
+	if total.Kills == 0 || total.Restarts == 0 || total.Wipes == 0 ||
+		total.Degrades == 0 || total.Partitions == 0 || total.PartitionHeals == 0 {
+		t.Fatalf("fault kinds not all exercised: %+v", total)
+	}
+	if total.Joins == 0 || total.Leaves == 0 || total.Commits == 0 || total.MovesStreamed == 0 {
+		t.Fatalf("membership churn not exercised: %+v", total)
+	}
+	if total.RangesRepaired == 0 {
+		t.Fatalf("anti-entropy never repaired anything: %+v", total)
+	}
+	if total.Client.Failovers == 0 || total.Client.Refetches == 0 || total.Client.PartialWrites == 0 {
+		t.Fatalf("client resilience paths not exercised: %+v", total)
+	}
+	if !total.DownDetected || !total.SlowDetected {
+		t.Fatalf("detector never classified both failure modes: %+v", total)
+	}
+}
+
+// TestClusterChurnLatencyObserved pins that the harness produces usable
+// latency digests — the EXPERIMENTS table row is built from these.
+func TestClusterChurnLatencyObserved(t *testing.T) {
+	res, err := Sim(SimConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadLat.Count == 0 || res.WriteLat.Count == 0 {
+		t.Fatalf("no latency observations: %+v", res)
+	}
+	if res.ReadLat.P99 < res.ReadLat.P50 || res.WriteLat.P99 < res.WriteLat.P50 {
+		t.Fatalf("inconsistent percentiles: %+v %+v", res.ReadLat, res.WriteLat)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}

@@ -11,6 +11,10 @@ import (
 	"time"
 )
 
+// ErrRetryBudget reports that an operation gave up because its
+// ClientOptions.RetryBudget elapsed, with retry attempts still available.
+var ErrRetryBudget = errors.New("netblock: retry budget exhausted")
+
 // ClientOptions tune the client's failure behavior. The zero value keeps
 // the original semantics: block forever on a dead peer, fail on the first
 // error.
@@ -27,6 +31,15 @@ type ClientOptions struct {
 	// reconnect between attempts; wrapped connections (NewClient) cannot,
 	// so their ops fail on the first transport error regardless.
 	RetryLimit int
+	// RetryBudget bounds the total elapsed time one operation may spend
+	// across all its attempts (0 = unbounded). RetryLimit alone bounds the
+	// attempt count, not the wall clock: with a slow Timeout each retry
+	// can burn the full deadline and a modest limit stalls the caller for
+	// minutes. When the budget is exhausted the operation fails with
+	// ErrRetryBudget wrapping the last transport error, instead of
+	// starting another attempt. Measured via Now, so tests pairing Now
+	// with Sleep stay wallclock-free.
+	RetryBudget time.Duration
 	// RetryDelay is the backoff base: attempt i sleeps RetryDelay<<i plus
 	// seeded jitter. Defaults to 10ms when RetryLimit is set.
 	RetryDelay time.Duration
@@ -35,6 +48,9 @@ type ClientOptions struct {
 	// Sleep replaces time.Sleep for the backoff, keeping tests
 	// wallclock-free. Nil means time.Sleep.
 	Sleep func(time.Duration)
+	// Now replaces time.Now for the RetryBudget accounting; tests inject a
+	// fake clock advanced by their Sleep. Nil means time.Now.
+	Now func() time.Time
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -43,6 +59,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	}
 	if o.Sleep == nil {
 		o.Sleep = time.Sleep
+	}
+	if o.Now == nil {
+		o.Now = time.Now
 	}
 	return o
 }
@@ -69,6 +88,7 @@ func Dial(addr string) (*Client, error) {
 func DialOptions(addr string, o ClientOptions) (*Client, error) {
 	c := &Client{opts: o.withDefaults(), addr: addr}
 	c.rng = rand.New(rand.NewSource(c.opts.Seed))
+	start := c.opts.Now()
 	for attempt := 0; ; attempt++ {
 		conn, err := c.dial()
 		if err == nil {
@@ -91,6 +111,9 @@ func DialOptions(addr string, o ClientOptions) (*Client, error) {
 		}
 		if attempt >= c.opts.RetryLimit {
 			return nil, err
+		}
+		if berr := c.overBudget(start, err); berr != nil {
+			return nil, berr
 		}
 		c.backoff(attempt)
 	}
@@ -133,6 +156,20 @@ func transient(err error) bool {
 	return err != nil && !errors.Is(err, ErrRemote)
 }
 
+// overBudget enforces RetryBudget: called before committing to another
+// attempt, it returns ErrRetryBudget (wrapping the attempt's error) once
+// the elapsed time since start has consumed the budget.
+func (c *Client) overBudget(start time.Time, lastErr error) error {
+	if c.opts.RetryBudget <= 0 {
+		return nil
+	}
+	if elapsed := c.opts.Now().Sub(start); elapsed >= c.opts.RetryBudget {
+		return fmt.Errorf("%w (%v elapsed of %v): %w",
+			ErrRetryBudget, elapsed, c.opts.RetryBudget, lastErr)
+	}
+	return nil
+}
+
 // backoff sleeps RetryDelay<<attempt plus up to 50% seeded jitter.
 func (c *Client) backoff(attempt int) {
 	d := c.opts.RetryDelay << attempt
@@ -150,6 +187,7 @@ func (c *Client) backoff(attempt int) {
 func (c *Client) roundTrip(op uint8, off uint64, length uint32, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	start := c.opts.Now()
 	for attempt := 0; ; attempt++ {
 		resp, err := c.attempt(op, off, length, payload)
 		if err == nil {
@@ -157,6 +195,9 @@ func (c *Client) roundTrip(op uint8, off uint64, length uint32, payload []byte) 
 		}
 		if !transient(err) || c.addr == "" || attempt >= c.opts.RetryLimit {
 			return nil, err
+		}
+		if berr := c.overBudget(start, err); berr != nil {
+			return nil, berr
 		}
 		c.backoff(attempt)
 		conn, derr := c.dial()
@@ -244,4 +285,30 @@ func (c *Client) Trim(off, n int64) error {
 func (c *Client) Flush() error {
 	_, err := c.roundTrip(opFlush, 0, 0, nil)
 	return err
+}
+
+// PingInfo is a ping response: the server's volume size, its advertised
+// ring epoch, and whether it is draining for shutdown.
+type PingInfo struct {
+	Size     int64
+	Epoch    uint64
+	Draining bool
+}
+
+// Ping probes the server's health: a successful round trip proves
+// liveness, and the payload carries the routing handshake (size, ring
+// epoch, drain state). Failure detectors also time this call.
+func (c *Client) Ping() (PingInfo, error) {
+	resp, err := c.roundTrip(opPing, 0, 0, nil)
+	if err != nil {
+		return PingInfo{}, err
+	}
+	if len(resp) != 17 {
+		return PingInfo{}, fmt.Errorf("%w: ping payload %d bytes", ErrProtocol, len(resp))
+	}
+	return PingInfo{
+		Size:     int64(binary.BigEndian.Uint64(resp[0:])),
+		Epoch:    binary.BigEndian.Uint64(resp[8:]),
+		Draining: resp[16]&pingDraining != 0,
+	}, nil
 }

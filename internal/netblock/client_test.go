@@ -1,6 +1,7 @@
 package netblock
 
 import (
+	"encoding/binary"
 	"errors"
 	"net"
 	"testing"
@@ -182,6 +183,125 @@ func TestDialRetryExhaustionDeterministic(t *testing.T) {
 	}
 	if same {
 		t.Fatalf("different seeds produced identical jitter: %v", a)
+	}
+}
+
+// fakeClock pairs ClientOptions.Now and Sleep: sleeping advances the
+// clock, so retry-budget accounting runs entirely on injected time.
+type fakeClock struct {
+	t      time.Time
+	sleeps int
+}
+
+func (c *fakeClock) Now() time.Time { return c.t }
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.t = c.t.Add(d)
+	c.sleeps++
+}
+
+func TestRetryBudgetBoundsElapsedTime(t *testing.T) {
+	// A freed port: every dial is refused instantly, so with RetryLimit
+	// 1000 the old behavior would grind through a thousand backoffs. The
+	// budget must cut the operation off once the injected clock has
+	// consumed it — attempts stop on elapsed time, not attempt count.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	clk := &fakeClock{}
+	_, err = DialOptions(addr, ClientOptions{
+		DialTimeout: time.Second,
+		RetryLimit:  1000,
+		RetryDelay:  10 * time.Millisecond,
+		RetryBudget: 200 * time.Millisecond,
+		Sleep:       clk.Sleep,
+		Now:         clk.Now,
+	})
+	if err == nil {
+		t.Fatal("dial of a closed port succeeded")
+	}
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+	// Exponential backoff: 10+20+40+80+160ms crosses 200ms after at most 5
+	// sleeps; nowhere near the 1000 the limit alone would permit.
+	if clk.sleeps == 0 || clk.sleeps > 6 {
+		t.Fatalf("%d backoff sleeps under a 200ms budget", clk.sleeps)
+	}
+}
+
+// handshakeOnlyListener serves the opSize handshake on every connection
+// and then swallows all further requests without answering — the fail-slow
+// peer whose timeouts chain: every reconnect succeeds, every data request
+// burns the full Timeout.
+func handshakeOnlyListener(t *testing.T) net.Addr {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				for {
+					req, err := readRequest(c)
+					if err != nil {
+						return
+					}
+					if req.op != opSize {
+						continue // swallow: the client's deadline must fire
+					}
+					var buf [8]byte
+					binary.BigEndian.PutUint64(buf[:], 4096)
+					if err := writeResponse(c, statusOK, buf[:]); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr()
+}
+
+func TestRetryBudgetBoundsRequestRetries(t *testing.T) {
+	// The satellite bug in miniature: a peer that accepts reconnects but
+	// never answers data requests. RetryLimit 1000 alone would chain a
+	// thousand timeouts; the budget must cut the operation off.
+	addr := handshakeOnlyListener(t)
+	clk := &fakeClock{}
+	cli, err := DialOptions(addr.String(), ClientOptions{
+		DialTimeout: time.Second,
+		Timeout:     20 * time.Millisecond,
+		RetryLimit:  1000,
+		RetryDelay:  10 * time.Millisecond,
+		RetryBudget: 100 * time.Millisecond,
+		Sleep:       clk.Sleep,
+		Now:         clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_, err = cli.ReadAt(make([]byte, 1), 0)
+	if err == nil {
+		t.Fatal("read against a silent server succeeded")
+	}
+	if !errors.Is(err, ErrRetryBudget) {
+		t.Fatalf("err = %v, want ErrRetryBudget", err)
+	}
+	// Backoffs 10+20+40+80ms cross the 100ms budget after at most 4
+	// sleeps; without the budget this loop would take 1000.
+	if clk.sleeps == 0 || clk.sleeps > 5 {
+		t.Fatalf("%d backoff sleeps under a 100ms budget", clk.sleeps)
 	}
 }
 

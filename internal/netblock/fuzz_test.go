@@ -28,6 +28,7 @@ func FuzzReadRequest(f *testing.F) {
 	f.Add(header(reqMagic, opRead, 1<<63, 4096))          // the remote-panic seed
 	f.Add(header(reqMagic, opWrite, ^uint64(0)-100, 200)) // off+length uint64 wrap
 	f.Add(header(reqMagic, opTrim, 1<<62, MaxPayload))
+	f.Add(header(reqMagic, opPing, ^uint64(0), 1))
 	f.Add(header(reqMagic, opWrite, 0, MaxPayload+1)) // oversized length
 	f.Add(append(header(reqMagic, opWrite, 8, 4), 'd', 'a', 't', 'a'))
 	f.Add(header(0xdeadbeef, opRead, 0, 0)) // bad magic
@@ -62,7 +63,9 @@ func FuzzHandle(f *testing.F) {
 	f.Add(header(reqMagic, opWrite, ^uint64(0)-4095, 4096))
 	f.Add(header(reqMagic, opTrim, ^uint64(0), ^uint32(0)&(MaxPayload-1)))
 	f.Add(header(reqMagic, opSize, 1<<63, 0))
-	f.Add(header(reqMagic, 0xff, 123, 1)) // unknown op
+	f.Add(header(reqMagic, opPing, 0, 0))                // health probe
+	f.Add(header(reqMagic, opPing, 1<<63, MaxPayload-1)) // hostile ping: off/len must be ignored
+	f.Add(header(reqMagic, 0xff, 123, 1))                // unknown op
 	f.Add(append(header(reqMagic, opWrite, 0, 8), []byte("payload!")...))
 	f.Add(append(header(reqMagic, opRead, 4096, 16), header(reqMagic, opRead, 1<<63, 1)...))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -169,6 +169,85 @@ func TestServeConnOverPipe(t *testing.T) {
 	<-done
 }
 
+func TestPingHandshake(t *testing.T) {
+	srv, cli := startPair(t, 1<<20)
+	srv.SetEpoch(7)
+	info, err := cli.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 1<<20 || info.Epoch != 7 || info.Draining {
+		t.Fatalf("ping info %+v, want size %d epoch 7 not draining", info, 1<<20)
+	}
+	if srv.Epoch() != 7 {
+		t.Fatalf("Epoch() = %d", srv.Epoch())
+	}
+}
+
+func TestPingReportsDraining(t *testing.T) {
+	// Close an unlistened server (a no-op drain with no connections) and
+	// then drive handle directly: the one ping must answer with the drain
+	// flag set.
+	srv, err := NewServer(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	req, err := readRequest(bytes.NewReader(frame(opPing, 0, 0, nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.handle(&out, req); err != nil {
+		t.Fatal(err)
+	}
+	status, payload, err := readResponse(&out)
+	if err != nil || status != statusOK {
+		t.Fatalf("ping during drain: status %d err %v", status, err)
+	}
+	if len(payload) != 17 || payload[16]&pingDraining == 0 {
+		t.Fatalf("ping payload %v does not advertise draining", payload)
+	}
+}
+
+func TestOpStatsCountServiceAndErrors(t *testing.T) {
+	srv, cli := startPair(t, 4096)
+	if _, err := cli.WriteAt([]byte("abcd"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.ReadAt(make([]byte, 4), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// An out-of-range read is answered with statusErr and must land in the
+	// error column, not vanish. roundTrip is used directly because the
+	// client-side range check would reject the request before the wire.
+	if _, err := cli.roundTrip(opRead, 1<<40, 1, nil); err == nil {
+		t.Fatal("out-of-range read succeeded")
+	}
+	stats := make(map[string]OpStats)
+	for _, s := range srv.OpStats() {
+		stats[s.Op] = s
+	}
+	if s := stats["read"]; s.Count != 2 || s.Errors != 1 {
+		t.Fatalf("read stats %+v, want count 2 errors 1", s)
+	}
+	if s := stats["write"]; s.Count != 1 || s.Errors != 0 {
+		t.Fatalf("write stats %+v", s)
+	}
+	if s := stats["ping"]; s.Count != 1 || s.Errors != 0 || s.Max < 0 || s.Total < s.Max {
+		t.Fatalf("ping stats %+v", s)
+	}
+	// The dial handshake issued one size op.
+	if s := stats["size"]; s.Count != 1 {
+		t.Fatalf("size stats %+v", s)
+	}
+}
+
 func TestProtocolRejectsGarbage(t *testing.T) {
 	if _, err := readRequest(bytes.NewReader([]byte("notthemagicnumber"))); !errors.Is(err, ErrProtocol) {
 		t.Fatalf("err = %v", err)

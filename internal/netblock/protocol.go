@@ -9,6 +9,11 @@
 //
 //	request:  magic u32 | op u8 | offset u64 | length u32 | payload (writes)
 //	response: magic u32 | status u8 | length u32 | payload (reads)
+//
+// The opPing health op ignores offset and length and answers with a
+// 17-byte payload — size u64 | epoch u64 | flags u8 — the cluster layer's
+// health probe and handshake: volume size, the server's ring epoch, and
+// whether it is draining for shutdown.
 package netblock
 
 import (
@@ -28,9 +33,15 @@ const (
 	opTrim  uint8 = 3
 	opFlush uint8 = 4
 	opSize  uint8 = 5
+	opPing  uint8 = 6
 
 	statusOK  uint8 = 0
 	statusErr uint8 = 1
+
+	// pingDraining is the flag bit set in a ping response while the server
+	// is shutting down — a routing hint, not an error: in-flight requests
+	// still complete under DrainGrace.
+	pingDraining uint8 = 1 << 0
 
 	// MaxPayload bounds one transfer.
 	MaxPayload = 4 << 20

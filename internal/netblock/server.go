@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
@@ -76,6 +77,17 @@ type Server struct {
 
 	backend Backend
 
+	// epoch is the ring epoch the server advertises in ping responses —
+	// the cluster layer's routing-table version. Standalone servers leave
+	// it zero.
+	epoch atomic.Uint64
+
+	// ops tallies per-op counts, errors, and wall-clock service latency,
+	// indexed by op code. The failure detector reads these through OpStats;
+	// the array is sized one past the largest op so hostile codes still
+	// land in a bucket (the zero slot).
+	ops [opPing + 1]opCounter
+
 	lis      net.Listener
 	wg       sync.WaitGroup
 	shutdown chan struct{} //srclint:owns Close (signal channel: closed once, never sent on)
@@ -88,13 +100,24 @@ type Server struct {
 	listenErr error // terminal accept-loop failure, surfaced by Close
 }
 
-// NewServer creates a server exporting a zeroed in-memory volume of size
-// bytes.
-func NewServer(size int64) (*Server, error) {
+// MemBackend returns the flat in-memory volume NewServer serves, for
+// callers that wrap it — the cluster fleet's chain backend interposes on
+// this before handing it to NewServerWith.
+func MemBackend(size int64) (Backend, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("netblock: volume size %d must be positive", size)
 	}
-	return NewServerWith(&memBackend{data: make([]byte, size)})
+	return &memBackend{data: make([]byte, size)}, nil
+}
+
+// NewServer creates a server exporting a zeroed in-memory volume of size
+// bytes.
+func NewServer(size int64) (*Server, error) {
+	b, err := MemBackend(size)
+	if err != nil {
+		return nil, err
+	}
+	return NewServerWith(b)
 }
 
 // NewServerWith creates a server exporting an arbitrary backend.
@@ -111,6 +134,75 @@ func NewServerWith(b Backend) (*Server, error) {
 
 // Size reports the exported volume size.
 func (s *Server) Size() int64 { return s.backend.Size() }
+
+// SetEpoch sets the ring epoch advertised in ping responses. The cluster
+// layer bumps it on membership changes; a client holding a routing table
+// older than the epoch it observes refetches before retrying.
+func (s *Server) SetEpoch(e uint64) { s.epoch.Store(e) }
+
+// Epoch reports the advertised ring epoch.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// opCounter is one op's running tally. Fields are atomics so per-connection
+// goroutines record without a shared lock; Max uses a CAS loop.
+type opCounter struct {
+	count   atomic.Int64
+	errors  atomic.Int64
+	totalNs atomic.Int64
+	maxNs   atomic.Int64
+}
+
+func (c *opCounter) observe(d time.Duration, failed bool) {
+	c.count.Add(1)
+	if failed {
+		c.errors.Add(1)
+	}
+	ns := d.Nanoseconds()
+	c.totalNs.Add(ns)
+	for {
+		cur := c.maxNs.Load()
+		if ns <= cur || c.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// OpStats is one op's cumulative service record: how many requests, how
+// many answered with statusErr, and the wall-clock time spent in the
+// backend — the raw material a failure detector scores fail-stop (errors)
+// and fail-slow (latency) from.
+type OpStats struct {
+	Op     string
+	Count  int64
+	Errors int64
+	Total  time.Duration
+	Max    time.Duration
+}
+
+// opNames maps op codes to their stats labels; the zero slot collects
+// unknown codes.
+var opNames = [opPing + 1]string{"unknown", "read", "write", "trim", "flush", "size", "ping"}
+
+// OpStats reports the per-op counters for every op observed so far, in
+// fixed op-code order. Safe to call concurrently with serving.
+func (s *Server) OpStats() []OpStats {
+	var out []OpStats
+	for op := range s.ops {
+		c := &s.ops[op]
+		n := c.count.Load()
+		if n == 0 {
+			continue
+		}
+		out = append(out, OpStats{
+			Op:     opNames[op],
+			Count:  n,
+			Errors: c.errors.Load(),
+			Total:  time.Duration(c.totalNs.Load()),
+			Max:    time.Duration(c.maxNs.Load()),
+		})
+	}
+	return out
+}
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address. Serving happens on background goroutines until
@@ -273,48 +365,72 @@ func (s *Server) draining() bool {
 	}
 }
 
-// handle executes one request. Range validation happens entirely in uint64
-// space: off and length are client-controlled, and converting to int64
-// first lets an offset above 2^63 go negative, pass an int64 comparison,
-// and panic the slice expression — one hostile frame killing the whole
-// process. `off > size || length > size-off` cannot overflow (off <= size
-// holds before the subtraction) and rejects every out-of-range request,
-// including off+length wrapping uint64.
+// handle times and executes one request, records its op counter, and
+// writes the response.
 func (s *Server) handle(conn io.Writer, req *request) error {
-	if req.op != opSize && req.op != opFlush {
+	start := time.Now()
+	status, payload := s.execute(req)
+	idx := int(req.op)
+	if idx >= len(s.ops) {
+		idx = 0 // hostile/unknown op codes share the zero bucket
+	}
+	s.ops[idx].observe(time.Since(start), status != statusOK)
+	return writeResponse(conn, status, payload)
+}
+
+// execute runs one request against the backend. Range validation happens
+// entirely in uint64 space: off and length are client-controlled, and
+// converting to int64 first lets an offset above 2^63 go negative, pass an
+// int64 comparison, and panic the slice expression — one hostile frame
+// killing the whole process. `off > size || length > size-off` cannot
+// overflow (off <= size holds before the subtraction) and rejects every
+// out-of-range request, including off+length wrapping uint64.
+func (s *Server) execute(req *request) (status uint8, payload []byte) {
+	if req.op != opSize && req.op != opFlush && req.op != opPing {
 		size := uint64(s.backend.Size())
 		if req.off > size || uint64(req.length) > size-req.off {
-			return writeResponse(conn, statusErr, []byte("out of range"))
+			return statusErr, []byte("out of range")
 		}
 	}
 	switch req.op {
 	case opRead:
 		buf := make([]byte, req.length)
 		if err := s.backend.ReadAt(buf, int64(req.off)); err != nil {
-			return writeResponse(conn, statusErr, []byte(err.Error()))
+			return statusErr, []byte(err.Error())
 		}
-		return writeResponse(conn, statusOK, buf)
+		return statusOK, buf
 	case opWrite:
 		if err := s.backend.WriteAt(req.payload, int64(req.off)); err != nil {
-			return writeResponse(conn, statusErr, []byte(err.Error()))
+			return statusErr, []byte(err.Error())
 		}
-		return writeResponse(conn, statusOK, nil)
+		return statusOK, nil
 	case opTrim:
 		if err := s.backend.Trim(int64(req.off), int64(req.length)); err != nil {
-			return writeResponse(conn, statusErr, []byte(err.Error()))
+			return statusErr, []byte(err.Error())
 		}
-		return writeResponse(conn, statusOK, nil)
+		return statusOK, nil
 	case opFlush:
 		if err := s.backend.Flush(); err != nil {
-			return writeResponse(conn, statusErr, []byte(err.Error()))
+			return statusErr, []byte(err.Error())
 		}
-		return writeResponse(conn, statusOK, nil)
+		return statusOK, nil
 	case opSize:
 		var buf [8]byte
 		binary.BigEndian.PutUint64(buf[:], uint64(s.backend.Size()))
-		return writeResponse(conn, statusOK, buf[:])
+		return statusOK, buf[:]
+	case opPing:
+		// Health/handshake: size, ring epoch, drain state. Like opSize it
+		// ignores the offset and length fields entirely, so a probe can
+		// never be rejected for range reasons.
+		var buf [17]byte
+		binary.BigEndian.PutUint64(buf[0:], uint64(s.backend.Size()))
+		binary.BigEndian.PutUint64(buf[8:], s.epoch.Load())
+		if s.draining() {
+			buf[16] |= pingDraining
+		}
+		return statusOK, buf[:]
 	default:
-		return writeResponse(conn, statusErr, []byte("unknown op"))
+		return statusErr, []byte("unknown op")
 	}
 }
 

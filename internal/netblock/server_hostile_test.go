@@ -58,18 +58,19 @@ func TestHostileOffsetOverflowRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	var in bytes.Buffer
-	in.Write(frame(opRead, 1<<63, 4096, nil))              // off > 2^63: old check saw a negative int64
-	in.Write(frame(opRead, ^uint64(0)-100, 200, nil))      // off+length wraps uint64
-	in.Write(frame(opWrite, 1<<63, 8, []byte("hostile!"))) // write flavor of the same
-	in.Write(frame(opTrim, uint64(1<<20), 1, nil))         // off == size, length 1: one past the end
-	in.Write(frame(opRead, uint64(1<<20)-4, 4, nil))       // still-valid tail read
-	in.Write(frame(opWrite, 0, 4, []byte("good")))         // server must still serve
+	in.Write(frame(opRead, 1<<63, 4096, nil))                      // off > 2^63: old check saw a negative int64
+	in.Write(frame(opRead, ^uint64(0)-100, 200, nil))              // off+length wraps uint64
+	in.Write(frame(opWrite, 1<<63, 8, []byte("hostile!")))         // write flavor of the same
+	in.Write(frame(opTrim, uint64(1<<20), 1, nil))                 // off == size, length 1: one past the end
+	in.Write(frame(opRead, uint64(1<<20)-4, 4, nil))               // still-valid tail read
+	in.Write(frame(opPing, 1<<63, ^uint32(0)&(MaxPayload-1), nil)) // hostile ping: off/len ignored, must answer OK
+	in.Write(frame(opWrite, 0, 4, []byte("good")))                 // server must still serve
 	var out bytes.Buffer
 	if err := srv.ServeConn(rwPair{&in, &out}); err != nil {
 		t.Fatalf("ServeConn: %v", err)
 	}
 	got := readStatuses(t, &out)
-	want := []uint8{statusErr, statusErr, statusErr, statusErr, statusOK, statusOK}
+	want := []uint8{statusErr, statusErr, statusErr, statusErr, statusOK, statusOK, statusOK}
 	if len(got) != len(want) {
 		t.Fatalf("got %d responses %v, want %d", len(got), got, len(want))
 	}

@@ -1,10 +1,14 @@
 // Package netlink models a full-duplex network pipe with fixed bandwidth
 // and round-trip latency — the simulation's stand-in for the 1 Gbps iSCSI
-// path between the host and primary storage.
+// path between the host and primary storage, and for the node-to-node
+// links of the cluster layer. Optional seeded jitter and a fail-slow
+// Degrade knob let the cluster chaos harness model degraded links without
+// leaving virtual time.
 package netlink
 
 import (
 	"fmt"
+	"math/rand"
 
 	"srccache/internal/vtime"
 )
@@ -16,6 +20,14 @@ type Config struct {
 	Bandwidth float64
 	// RTT is the round-trip latency (default 200 µs).
 	RTT vtime.Duration
+	// Jitter, when positive, adds a uniformly distributed extra delay in
+	// [0, Jitter] to every transfer, drawn from a rand seeded with Seed —
+	// the per-packet variance a shared switch fabric exhibits. Zero keeps
+	// the link perfectly smooth (the pre-cluster behavior).
+	Jitter vtime.Duration
+	// Seed selects the jitter sequence. Two links with equal Config produce
+	// identical delay sequences for identical call sequences.
+	Seed int64
 }
 
 // Validate fills defaults.
@@ -32,6 +44,9 @@ func (c Config) Validate() (Config, error) {
 	if c.RTT < 0 {
 		return c, fmt.Errorf("netlink: negative rtt %v", c.RTT)
 	}
+	if c.Jitter < 0 {
+		return c, fmt.Errorf("netlink: negative jitter %v", c.Jitter)
+	}
 	return c, nil
 }
 
@@ -40,6 +55,8 @@ func (c Config) Validate() (Config, error) {
 // contend independently.
 type Link struct {
 	cfg      Config
+	rng      *rand.Rand // non-nil iff Jitter > 0
+	factor   float64    // fail-slow multiplier, 1 = healthy
 	upBusy   vtime.Time
 	downBusy vtime.Time
 
@@ -53,28 +70,64 @@ func New(cfg Config) (*Link, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Link{cfg: cfg}, nil
+	l := &Link{cfg: cfg, factor: 1}
+	if cfg.Jitter > 0 {
+		l.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return l, nil
 }
 
 // Config returns the effective configuration.
 func (l *Link) Config() Config { return l.cfg }
 
+// Degrade sets the fail-slow multiplier applied to transfer and propagation
+// times — the link-level twin of blockdev.FaultPlan.SetSlowdown. Values
+// below 1 restore healthy speed; the zero Link state is healthy.
+func (l *Link) Degrade(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	l.factor = factor
+}
+
+// Degraded reports the current fail-slow multiplier (1 = healthy).
+func (l *Link) Degraded() float64 { return l.factor }
+
+// delay computes one transfer's service time: bandwidth time and half-RTT
+// propagation stretched by the fail-slow factor, plus the seeded jitter
+// draw. The jitter rand advances exactly once per transfer, so the delay
+// sequence is a pure function of (Config, call sequence).
+func (l *Link) delay(n int64) (xfer, prop vtime.Duration) {
+	xfer = vtime.TransferTime(n, l.cfg.Bandwidth)
+	prop = l.cfg.RTT / 2
+	if l.factor > 1 {
+		xfer = vtime.Duration(float64(xfer) * l.factor)
+		prop = vtime.Duration(float64(prop) * l.factor)
+	}
+	if l.rng != nil {
+		xfer += vtime.Duration(l.rng.Int63n(int64(l.cfg.Jitter) + 1))
+	}
+	return xfer, prop
+}
+
 // Send transfers n bytes host→storage starting no earlier than at and
 // returns the arrival time at the far end (propagation included).
 func (l *Link) Send(at vtime.Time, n int64) vtime.Time {
+	xfer, prop := l.delay(n)
 	start := vtime.Max(at, l.upBusy)
-	l.upBusy = start.Add(vtime.TransferTime(n, l.cfg.Bandwidth))
+	l.upBusy = start.Add(xfer)
 	l.sentBytes += n
-	return l.upBusy.Add(l.cfg.RTT / 2)
+	return l.upBusy.Add(prop)
 }
 
 // Recv transfers n bytes storage→host starting no earlier than at and
 // returns the arrival time at the host.
 func (l *Link) Recv(at vtime.Time, n int64) vtime.Time {
+	xfer, prop := l.delay(n)
 	start := vtime.Max(at, l.downBusy)
-	l.downBusy = start.Add(vtime.TransferTime(n, l.cfg.Bandwidth))
+	l.downBusy = start.Add(xfer)
 	l.recvBytes += n
-	return l.downBusy.Add(l.cfg.RTT / 2)
+	return l.downBusy.Add(prop)
 }
 
 // SentBytes reports cumulative host→storage traffic.
