@@ -13,13 +13,26 @@
 //	atomicfreeze values published via atomic.Pointer/atomic.Value are frozen
 //	chandisc     no send after close, close only from the //srclint:owns owner,
 //	             no receive on a self-closed channel
+//	staleepoch   cluster-layer calls that can surface netblock.ErrStaleEpoch
+//	             must guard with errors.Is and reach a refetch/refresh
+//	             handler, or declare //srclint:surfaces staleepoch
+//	boundedretry retry/reconnect loops must consult a budget, limit, or
+//	             deadline on every back edge
+//	hotpath      //srclint:hotpath functions (and everything they call, in
+//	             any package) must not heap-allocate composite literals,
+//	             call fmt/reflect, iterate maps, or defer in loops; prune
+//	             with //srclint:coldpath at a boundary
 //
 // errpath, lockheld and flushepoch are path-sensitive: they run over
 // per-function control-flow graphs (internal/analysis/cfg). confined,
 // atomicfreeze and chandisc are additionally interprocedural: they run
 // over the package call graph (internal/analysis/callgraph — static call,
 // go and defer edges with function-value flow and per-function effect
-// summaries).
+// summaries). staleepoch, boundedretry and hotpath are modular: each
+// package's analysis emits serialized fact summaries
+// (internal/analysis/modfacts — exported contracts, cross-package call
+// edges, hot-path safety), and the driver loads dependency facts so the
+// contracts propagate across package boundaries.
 //
 // Run standalone (srclint ./...), with -json for machine-readable NDJSON
 // findings on stdout, or as a vet tool:
@@ -27,11 +40,16 @@
 //	go build -o bin/srclint ./cmd/srclint
 //	go vet -vettool=$PWD/bin/srclint ./...
 //
+// Select or drop checks with -checks=<name>,... and -exclude=<name>,...
+// (unknown names are errors).
+//
 // Suppress an individual finding with //srclint:allow <check>[,<check>...]
 // [reason] on or directly above the offending line; a directive that
 // suppresses nothing is itself reported (staleallow). The annotation
 // grammar for the contracts (//srclint:contract flush, //srclint:confined,
-// //srclint:handoff, //srclint:owns) is documented in DESIGN.md §8.
+// //srclint:handoff, //srclint:owns, //srclint:contracterr,
+// //srclint:surfaces, //srclint:handles, //srclint:hotpath,
+// //srclint:coldpath) is documented in DESIGN.md §8.
 package main
 
 import (
@@ -39,15 +57,18 @@ import (
 
 	"srccache/internal/analysis"
 	"srccache/internal/analysis/atomicfreeze"
+	"srccache/internal/analysis/boundedretry"
 	"srccache/internal/analysis/chandisc"
 	"srccache/internal/analysis/confined"
 	"srccache/internal/analysis/driver"
 	"srccache/internal/analysis/errpath"
 	"srccache/internal/analysis/flushepoch"
+	"srccache/internal/analysis/hotpath"
 	"srccache/internal/analysis/ioerr"
 	"srccache/internal/analysis/lockheld"
 	"srccache/internal/analysis/maprange"
 	"srccache/internal/analysis/seededrand"
+	"srccache/internal/analysis/staleepoch"
 	"srccache/internal/analysis/wallclock"
 )
 
@@ -63,5 +84,8 @@ func main() {
 		confined.Analyzer,
 		atomicfreeze.Analyzer,
 		chandisc.Analyzer,
+		staleepoch.Analyzer,
+		boundedretry.Analyzer,
+		hotpath.Analyzer,
 	}))
 }

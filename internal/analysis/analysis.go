@@ -57,6 +57,24 @@ type Pass struct {
 	// suppressions which never fire can be reported as stale; when nil it
 	// is built lazily from Files (analysistest and direct Pass use).
 	Dirs *Directives
+
+	// OwnFacts is this package's computed fact summary (modfacts.Compute);
+	// nil when the driver did not compute facts, in which case analyzers
+	// that need them compute their own.
+	OwnFacts *PackageFacts
+
+	// DepFacts resolves an import path to that dependency's facts, nil
+	// when unavailable (standard library, facts-free drivers). The driver
+	// memoizes behind this so analyzers can call it freely.
+	DepFacts func(path string) *PackageFacts
+}
+
+// ImportedFacts is the nil-safe way to ask for a dependency's facts.
+func (p *Pass) ImportedFacts(path string) *PackageFacts {
+	if p.DepFacts == nil {
+		return nil
+	}
+	return p.DepFacts(NormalizePkgPath(path))
 }
 
 // A Diagnostic is one finding at a source position.
@@ -174,11 +192,17 @@ func (d *Directives) Covers(name string, posn token.Position) bool {
 // Stale returns one diagnostic per directive entry that suppressed no
 // diagnostic in this package (including entries naming a check that does
 // not exist), so suppressions cannot rot. Stale-allow findings are not
-// themselves suppressible.
-func (d *Directives) Stale() []Diagnostic {
+// themselves suppressible. skip, when non-nil, exempts entries whose
+// check was deliberately not run this invocation (-checks/-exclude
+// subsets): a run that never gave a check the chance to fire cannot prove
+// its suppressions stale.
+func (d *Directives) Stale(skip func(name string) bool) []Diagnostic {
 	var out []Diagnostic
 	for _, e := range d.entries {
 		if e.used {
+			continue
+		}
+		if skip != nil && skip(e.name) {
 			continue
 		}
 		out = append(out, Diagnostic{
@@ -308,6 +332,16 @@ var SimPackages = []string{
 	// the suffix match deliberately does not bind internal/cluster/fleet,
 	// the wallclock real-TCP subpackage.
 	"internal/cluster",
+}
+
+// ClusterPackages lists the package-path suffixes bound by the routing
+// protocol contract (DESIGN.md §8 rule 11): inside them, any call that can
+// surface a stale-epoch contract error must reach a table-refetch/retry
+// handler. cmd/ and examples/ consume the fleet's already-handled surface,
+// so they stay out of scope.
+var ClusterPackages = []string{
+	"internal/cluster",
+	"internal/cluster/fleet",
 }
 
 // RandPackages extends SimPackages with the packages that generate

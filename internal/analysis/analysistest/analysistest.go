@@ -38,6 +38,7 @@ import (
 	"testing"
 
 	"srccache/internal/analysis"
+	"srccache/internal/analysis/modfacts"
 )
 
 // TestData returns the calling test package's testdata directory.
@@ -64,7 +65,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 		if err != nil {
 			t.Fatalf("loading fixture %q: %v", path, err)
 		}
-		checkPackage(t, l.fset, a, fp)
+		checkPackage(t, l, a, fp)
 	}
 }
 
@@ -72,6 +73,7 @@ type fixturePkg struct {
 	pkg   *types.Package
 	files []*ast.File
 	info  *types.Info
+	facts *analysis.PackageFacts // computed on first request
 }
 
 type loader struct {
@@ -79,6 +81,21 @@ type loader struct {
 	srcdir string
 	pkgs   map[string]*fixturePkg
 	std    types.Importer
+}
+
+// factsFor mirrors the driver's dependency-facts plumbing for fixture
+// packages: any fixture package loaded so far (the package under test's
+// imports, recursively) answers with its modfacts summary, memoized.
+func (l *loader) factsFor(path string) *analysis.PackageFacts {
+	fp := l.pkgs[path]
+	if fp == nil {
+		return nil // standard library or unknown: no facts
+	}
+	if fp.facts == nil {
+		dirs := analysis.ParseDirectives(l.fset, fp.files)
+		fp.facts = modfacts.Compute(l.fset, fp.files, fp.info, fp.pkg, dirs, l.factsFor)
+	}
+	return fp.facts
 }
 
 func (l *loader) load(path string) (*fixturePkg, error) {
@@ -209,8 +226,9 @@ type expectation struct {
 	used bool
 }
 
-func checkPackage(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fp *fixturePkg) {
+func checkPackage(t *testing.T, l *loader, a *analysis.Analyzer, fp *fixturePkg) {
 	t.Helper()
+	fset := l.fset
 	var diags []analysis.Diagnostic
 	pass := &analysis.Pass{
 		Analyzer:  a,
@@ -219,6 +237,7 @@ func checkPackage(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, fp *f
 		Pkg:       fp.pkg,
 		TypesInfo: fp.info,
 		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		DepFacts:  l.factsFor,
 	}
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("%s: %v", a.Name, err)

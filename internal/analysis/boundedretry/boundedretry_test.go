@@ -1,0 +1,12 @@
+package boundedretry_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/boundedretry"
+)
+
+func TestBoundedRetry(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), boundedretry.Analyzer, "retry")
+}

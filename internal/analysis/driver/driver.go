@@ -29,15 +29,28 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"srccache/internal/analysis"
+	"srccache/internal/analysis/modfacts"
 )
+
+// modulePrefix identifies in-module packages: only these get facts
+// computed from source (the standard library gets none, and DecodeFacts
+// treats its empty placeholders as "no facts").
+const modulePrefix = "srccache"
+
+func inModule(path string) bool {
+	return path == modulePrefix || strings.HasPrefix(path, modulePrefix+"/")
+}
 
 // Main implements the srclint command line and returns the process exit
 // code: 0 clean, 1 operational failure, 2 findings.
 func Main(analyzers []*analysis.Analyzer) int {
 	args := os.Args[1:]
 	jsonMode := false
+	timings := false
+	var checks, exclude string
 	kept := args[:0:0]
 	for _, a := range args {
 		switch {
@@ -60,18 +73,101 @@ func Main(analyzers []*analysis.Analyzer) int {
 			// stdout (CI turns them into GitHub annotations). Standalone
 			// mode only; the vet protocol owns the output format there.
 			jsonMode = true
+		case a == "-timings" || a == "--timings":
+			// Per-analyzer wall time across the whole run, printed to
+			// stderr at the end (CI appends it to the job summary).
+			timings = true
+		case strings.HasPrefix(a, "-checks=") || strings.HasPrefix(a, "--checks="):
+			checks = a[strings.Index(a, "=")+1:]
+		case strings.HasPrefix(a, "-exclude=") || strings.HasPrefix(a, "--exclude="):
+			exclude = a[strings.Index(a, "=")+1:]
 		default:
 			kept = append(kept, a)
 		}
 	}
 	args = kept
+	selected, err := SelectAnalyzers(analyzers, checks, exclude)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "srclint: %v\n", err)
+		return 1
+	}
+	staleSkip := staleSkipFor(analyzers, selected)
 	if !jsonMode && len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		return vetMode(analyzers, args[0])
+		return vetMode(selected, staleSkip, args[0])
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	return standalone(analyzers, args, jsonMode)
+	return standalone(selected, staleSkip, args, jsonMode, timings)
+}
+
+// staleSkipFor builds the stale-suppression exemption for a -checks/
+// -exclude subset: //srclint:allow entries naming a registered but
+// unselected check are not reported stale (the run never let their check
+// fire). A full selection returns nil so unknown-name entries still rot
+// loudly.
+func staleSkipFor(all, selected []*analysis.Analyzer) func(string) bool {
+	if len(selected) == len(all) {
+		return nil
+	}
+	on := make(map[string]bool, len(selected))
+	for _, a := range selected {
+		on[a.Name] = true
+	}
+	known := make(map[string]bool, len(all))
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	return func(name string) bool { return known[name] && !on[name] }
+}
+
+// SelectAnalyzers applies the -checks/-exclude flags: checks (when
+// non-empty) keeps only the named analyzers, exclude then drops names;
+// both are comma-separated and an unknown name is an error listing the
+// valid ones. Registration order is preserved.
+func SelectAnalyzers(all []*analysis.Analyzer, checks, exclude string) ([]*analysis.Analyzer, error) {
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	names := make([]string, 0, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+		names = append(names, a.Name)
+	}
+	parse := func(list, flag string) (map[string]bool, error) {
+		if list == "" {
+			return nil, nil
+		}
+		set := make(map[string]bool)
+		for _, n := range strings.Split(list, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if byName[n] == nil {
+				return nil, fmt.Errorf("-%s: unknown check %q (valid checks: %s)", flag, n, strings.Join(names, ", "))
+			}
+			set[n] = true
+		}
+		return set, nil
+	}
+	want, err := parse(checks, "checks")
+	if err != nil {
+		return nil, err
+	}
+	drop, err := parse(exclude, "exclude")
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if want != nil && !want[a.Name] {
+			continue
+		}
+		if drop[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 func usage(analyzers []*analysis.Analyzer) {
@@ -101,14 +197,14 @@ func printVersion(full bool) {
 	fmt.Printf("%s version devel buildID=%x\n", name, h.Sum(nil))
 }
 
-// checkPackage parses and type-checks one package and applies every
-// analyzer, returning the diagnostics.
-func checkPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, imp types.Importer, pkgPath, goVersion string, filenames []string) ([]analysis.Diagnostic, error) {
+// loadPackage parses and type-checks one package from source against its
+// dependencies' export data.
+func loadPackage(fset *token.FileSet, imp types.Importer, pkgPath, goVersion string, filenames []string) ([]*ast.File, *types.Package, *types.Info, error) {
 	var files []*ast.File
 	for _, name := range filenames {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -128,13 +224,43 @@ func checkPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, imp types
 	}
 	pkg, err := conf.Check(pkgPath, fset, files, info)
 	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, pkg, info, nil
+}
+
+// packageFactsFor computes an in-module package's facts from source (the
+// dependency-only path: no analyzers run, just the modular summary).
+func packageFactsFor(fset *token.FileSet, imp types.Importer, pkgPath, goVersion string, filenames []string, depFacts func(string) *analysis.PackageFacts) (*analysis.PackageFacts, error) {
+	files, pkg, info, err := loadPackage(fset, imp, pkgPath, goVersion, filenames)
+	if err != nil {
 		return nil, err
 	}
-	var diags []analysis.Diagnostic
-	// One Directives set is shared by every analyzer so that, after they
-	// all ran, suppressions which fired for none of them can be reported as
-	// stale instead of silently rotting.
 	dirs := analysis.ParseDirectives(fset, files)
+	return modfacts.Compute(fset, files, info, pkg, dirs, depFacts), nil
+}
+
+// checkPackage parses and type-checks one package, computes its facts, and
+// applies every analyzer, returning the diagnostics and the facts (for the
+// caller to persist or cache). depFacts resolves dependency facts and may
+// be nil; staleSkip exempts allow-directives for unselected checks from
+// stale reporting (nil on full runs); timings, when non-nil, accumulates
+// per-analyzer wall time.
+func checkPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, imp types.Importer, pkgPath, goVersion string, filenames []string, depFacts func(string) *analysis.PackageFacts, staleSkip func(string) bool, timings map[string]time.Duration) ([]analysis.Diagnostic, *analysis.PackageFacts, error) {
+	files, pkg, info, err := loadPackage(fset, imp, pkgPath, goVersion, filenames)
+	if err != nil {
+		return nil, nil, err
+	}
+	var diags []analysis.Diagnostic
+	// One Directives set is shared by the facts computation and every
+	// analyzer so that, after they all ran, suppressions which fired for
+	// none of them can be reported as stale instead of silently rotting.
+	dirs := analysis.ParseDirectives(fset, files)
+	start := time.Now()
+	own := modfacts.Compute(fset, files, info, pkg, dirs, depFacts)
+	if timings != nil {
+		timings["(facts)"] += time.Since(start)
+	}
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
 			Analyzer:  a,
@@ -144,14 +270,39 @@ func checkPackage(analyzers []*analysis.Analyzer, fset *token.FileSet, imp types
 			TypesInfo: info,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 			Dirs:      dirs,
+			OwnFacts:  own,
+			DepFacts:  depFacts,
 		}
+		start := time.Now()
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %v", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+		if timings != nil {
+			timings[a.Name] += time.Since(start)
 		}
 	}
-	diags = append(diags, dirs.Stale()...)
+	diags = append(diags, dirs.Stale(staleSkip)...)
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
-	return diags, nil
+	return diags, own, nil
+}
+
+// printTimings writes the accumulated per-analyzer wall time to stderr,
+// longest first, in a fixed "srclint-timing" format CI greps into the job
+// summary.
+func printTimings(timings map[string]time.Duration) {
+	names := make([]string, 0, len(timings))
+	for n := range timings {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if timings[names[i]] != timings[names[j]] {
+			return timings[names[i]] > timings[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		fmt.Fprintf(os.Stderr, "srclint-timing %-14s %v\n", n, timings[n].Round(time.Millisecond))
+	}
 }
 
 func printDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
@@ -238,13 +389,51 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	Standard                  map[string]bool
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
-func vetMode(analyzers []*analysis.Analyzer, cfgFile string) int {
+// vetxFacts resolves dependency facts from the .vetx files the go command
+// hands over in the vet config, memoized per path. Missing files, empty
+// placeholders (standard library), and version mismatches all read as "no
+// facts".
+func vetxFacts(vetx map[string]string) func(string) *analysis.PackageFacts {
+	cache := make(map[string]*analysis.PackageFacts)
+	return func(path string) *analysis.PackageFacts {
+		if f, ok := cache[path]; ok {
+			return f
+		}
+		var f *analysis.PackageFacts
+		if file, ok := vetx[path]; ok {
+			if data, err := os.ReadFile(file); err == nil {
+				f, _ = analysis.DecodeFacts(data)
+			}
+		}
+		cache[path] = f
+		return f
+	}
+}
+
+// writeVetx persists facts (or, with nil facts, the empty placeholder the
+// go command requires) to the configured output.
+func writeVetx(cfg *vetConfig, facts *analysis.PackageFacts) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	var data []byte
+	if facts != nil {
+		var err error
+		if data, err = facts.Encode(); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(cfg.VetxOutput, data, 0o666)
+}
+
+func vetMode(analyzers []*analysis.Analyzer, staleSkip func(string) bool, cfgFile string) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "srclint: %v\n", err)
@@ -255,29 +444,42 @@ func vetMode(analyzers []*analysis.Analyzer, cfgFile string) int {
 		fmt.Fprintf(os.Stderr, "srclint: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// The go command requires the facts output to exist even though
-	// srclint's analyzers exchange no facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintf(os.Stderr, "srclint: %v\n", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, cfg.ImportMap, cfg.PackageFile)
 	goVersion := cfg.GoVersion
 	if goVersion != "" && !strings.HasPrefix(goVersion, "go") {
 		goVersion = "go" + goVersion
 	}
-	diags, err := checkPackage(analyzers, fset, imp, cfg.ImportPath, goVersion, cfg.GoFiles)
+	depFacts := vetxFacts(cfg.PackageVetx)
+	if cfg.VetxOnly {
+		// Dependency-only visit: compute and persist this package's facts
+		// so dependents see its contracts; the standard library (and any
+		// package that fails to type-check) gets the empty placeholder —
+		// dependents fall back to no facts, never wrong facts.
+		var facts *analysis.PackageFacts
+		if inModule(analysis.NormalizePkgPath(cfg.ImportPath)) {
+			facts, _ = packageFactsFor(fset, imp, cfg.ImportPath, goVersion, cfg.GoFiles, depFacts)
+		}
+		if err := writeVetx(&cfg, facts); err != nil {
+			fmt.Fprintf(os.Stderr, "srclint: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	diags, facts, err := checkPackage(analyzers, fset, imp, cfg.ImportPath, goVersion, cfg.GoFiles, depFacts, staleSkip, nil)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			if werr := writeVetx(&cfg, nil); werr != nil {
+				fmt.Fprintf(os.Stderr, "srclint: %v\n", werr)
+				return 1
+			}
 			return 0
 		}
 		fmt.Fprintf(os.Stderr, "srclint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if err := writeVetx(&cfg, facts); err != nil {
+		fmt.Fprintf(os.Stderr, "srclint: %v\n", err)
 		return 1
 	}
 	if len(diags) == 0 {
@@ -302,7 +504,7 @@ type listPackage struct {
 	Error      *struct{ Err string }
 }
 
-func standalone(analyzers []*analysis.Analyzer, patterns []string, jsonMode bool) int {
+func standalone(analyzers []*analysis.Analyzer, staleSkip func(string) bool, patterns []string, jsonMode, timings bool) int {
 	pkgs, err := goList(patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "srclint: %v\n", err)
@@ -310,13 +512,23 @@ func standalone(analyzers []*analysis.Analyzer, patterns []string, jsonMode bool
 	}
 	cwd, _ := os.Getwd()
 	packageFile := make(map[string]string)
+	byPath := make(map[string]*listPackage)
 	for _, p := range pkgs {
 		if p.Export != "" {
 			packageFile[p.ImportPath] = p.Export
 		}
+		if byPath[p.ImportPath] == nil {
+			byPath[p.ImportPath] = p
+		}
 	}
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, nil, packageFile)
+	fl := &factsLoader{fset: fset, imp: imp, byPath: byPath, cache: make(map[string]*analysis.PackageFacts)}
+
+	var timing map[string]time.Duration
+	if timings {
+		timing = make(map[string]time.Duration)
+	}
 	exit := 0
 	for _, p := range pkgs {
 		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
@@ -330,11 +542,12 @@ func standalone(analyzers []*analysis.Analyzer, patterns []string, jsonMode bool
 		for _, f := range p.GoFiles {
 			files = append(files, filepath.Join(p.Dir, f))
 		}
-		diags, err := checkPackage(analyzers, fset, imp, p.ImportPath, "", files)
+		diags, facts, err := checkPackage(analyzers, fset, imp, p.ImportPath, "", files, fl.facts, staleSkip, timing)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "srclint: %s: %v\n", p.ImportPath, err)
 			return 1
 		}
+		fl.cache[p.ImportPath] = facts
 		if len(diags) > 0 {
 			if jsonMode {
 				if err := writeJSONDiags(os.Stdout, fset, cwd, diags); err != nil {
@@ -347,7 +560,42 @@ func standalone(analyzers []*analysis.Analyzer, patterns []string, jsonMode bool
 			exit = 2
 		}
 	}
+	if timing != nil {
+		printTimings(timing)
+	}
 	return exit
+}
+
+// factsLoader computes dependency facts from source on demand and memoizes
+// them over a `go list -deps` result set. Dependencies list before
+// dependents, and standalone seeds the cache with each checked package's
+// facts, so a tree-wide run computes every package's facts exactly once.
+type factsLoader struct {
+	fset   *token.FileSet
+	imp    types.Importer
+	byPath map[string]*listPackage
+	cache  map[string]*analysis.PackageFacts
+}
+
+func (l *factsLoader) facts(path string) *analysis.PackageFacts {
+	if f, ok := l.cache[path]; ok {
+		return f
+	}
+	l.cache[path] = nil // cycle guard; overwritten on success
+	p := l.byPath[path]
+	if p == nil || p.Standard || len(p.GoFiles) == 0 || !inModule(path) {
+		return nil
+	}
+	var files []string
+	for _, f := range p.GoFiles {
+		files = append(files, filepath.Join(p.Dir, f))
+	}
+	f, err := packageFactsFor(l.fset, l.imp, p.ImportPath, "", files, l.facts)
+	if err != nil {
+		return nil
+	}
+	l.cache[path] = f
+	return f
 }
 
 func goList(patterns []string) ([]*listPackage, error) {

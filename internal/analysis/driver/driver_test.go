@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -12,18 +13,22 @@ import (
 
 	"srccache/internal/analysis"
 	"srccache/internal/analysis/atomicfreeze"
+	"srccache/internal/analysis/boundedretry"
 	"srccache/internal/analysis/chandisc"
 	"srccache/internal/analysis/confined"
 	"srccache/internal/analysis/errpath"
 	"srccache/internal/analysis/flushepoch"
+	"srccache/internal/analysis/hotpath"
 	"srccache/internal/analysis/ioerr"
 	"srccache/internal/analysis/lockheld"
 	"srccache/internal/analysis/maprange"
 	"srccache/internal/analysis/seededrand"
+	"srccache/internal/analysis/staleepoch"
 	"srccache/internal/analysis/wallclock"
 )
 
-// allAnalyzers mirrors cmd/srclint's registration list: all ten checks.
+// allAnalyzers mirrors cmd/srclint's registration list: all thirteen
+// checks.
 var allAnalyzers = []*analysis.Analyzer{
 	wallclock.Analyzer,
 	seededrand.Analyzer,
@@ -35,6 +40,9 @@ var allAnalyzers = []*analysis.Analyzer{
 	confined.Analyzer,
 	atomicfreeze.Analyzer,
 	chandisc.Analyzer,
+	staleepoch.Analyzer,
+	boundedretry.Analyzer,
+	hotpath.Analyzer,
 }
 
 // TestJSONSchema pins the -json wire format: one object per line with
@@ -86,9 +94,10 @@ func TestJSONSchema(t *testing.T) {
 	}
 }
 
-// loadPackage lists one srccache package with export data and returns its
-// non-test file list plus an importer over the dependency closure.
-func loadPackage(t *testing.T, importPath string) (files []string, packageFile map[string]string) {
+// listPackageFiles lists one srccache package with export data and returns
+// its non-test file list, the export-data table of the dependency closure,
+// and the full listing (for dependency-facts resolution).
+func listPackageFiles(t *testing.T, importPath string) (files []string, packageFile map[string]string, pkgs []*listPackage) {
 	t.Helper()
 	pkgs, err := goList([]string{importPath})
 	if err != nil {
@@ -108,17 +117,30 @@ func loadPackage(t *testing.T, importPath string) (files []string, packageFile m
 	if len(files) == 0 {
 		t.Fatalf("%s not found in go list output", importPath)
 	}
-	return files, packageFile
+	return files, packageFile, pkgs
 }
 
-// checkClean runs all ten analyzers (including stale-suppression
+// depFactsOver builds the standalone-mode dependency-facts resolver for a
+// listing.
+func depFactsOver(fset *token.FileSet, imp types.Importer, pkgs []*listPackage) func(string) *analysis.PackageFacts {
+	byPath := make(map[string]*listPackage)
+	for _, p := range pkgs {
+		if byPath[p.ImportPath] == nil {
+			byPath[p.ImportPath] = p
+		}
+	}
+	fl := &factsLoader{fset: fset, imp: imp, byPath: byPath, cache: make(map[string]*analysis.PackageFacts)}
+	return fl.facts
+}
+
+// checkClean runs all thirteen analyzers (including stale-suppression
 // detection) over one package and reports every diagnostic as an error.
 func checkClean(t *testing.T, importPath string) {
 	t.Helper()
-	files, packageFile := loadPackage(t, importPath)
+	files, packageFile, pkgs := listPackageFiles(t, importPath)
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, nil, packageFile)
-	diags, err := checkPackage(allAnalyzers, fset, imp, importPath, "", files)
+	diags, _, err := checkPackage(allAnalyzers, fset, imp, importPath, "", files, depFactsOver(fset, imp, pkgs), nil, nil)
 	if err != nil {
 		t.Fatalf("checkPackage: %v", err)
 	}
@@ -153,7 +175,7 @@ func TestClusterSelfClean(t *testing.T) { checkClean(t, "srccache/internal/clust
 // diagnostics for the mutated package.
 func mutatePackage(t *testing.T, importPath, base, oldSrc, newSrc string) ([]analysis.Diagnostic, *token.FileSet) {
 	t.Helper()
-	files, packageFile := loadPackage(t, importPath)
+	files, packageFile, pkgs := listPackageFiles(t, importPath)
 	var target string
 	for _, f := range files {
 		if filepath.Base(f) == base {
@@ -182,7 +204,7 @@ func mutatePackage(t *testing.T, importPath, base, oldSrc, newSrc string) ([]ana
 	}
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, nil, packageFile)
-	diags, err := checkPackage(allAnalyzers, fset, imp, importPath, "", files)
+	diags, _, err := checkPackage(allAnalyzers, fset, imp, importPath, "", files, depFactsOver(fset, imp, pkgs), nil, nil)
 	if err != nil {
 		t.Fatalf("checkPackage on mutated source: %v", err)
 	}
@@ -260,4 +282,268 @@ func TestAtomicFreezeSeedingRemoval(t *testing.T) {
 	if !strings.Contains(freezeDiags[0].Message, "published via atomic Store") {
 		t.Errorf("message does not explain the freeze contract: %s", freezeDiags[0].Message)
 	}
+}
+
+// TestFleetSelfClean holds the TCP fleet — the package the staleepoch
+// contract was built around — clean under all thirteen analyzers,
+// including the handles-annotation rot verification.
+func TestFleetSelfClean(t *testing.T) { checkClean(t, "srccache/internal/cluster/fleet") }
+
+// TestStaleEpochSeedingRemoval rots the fleet's stale-epoch handler on a
+// copy: tryOwners keeps its //srclint:handles annotation and its errors.Is
+// guard but loses the refetch call, so the handles verification must
+// report exactly that declaration, once. This is the acceptance check that
+// the netblock contract is demonstrably enforced against a violating
+// caller — rule 3 trusts the annotation only because this verification
+// exists.
+func TestStaleEpochSeedingRemoval(t *testing.T) {
+	diags, fset := mutatePackage(t, "srccache/internal/cluster/fleet", "fleet.go",
+		"if stale && f.refetchRing() {\n\t\t\tf.refetches.Add(1)\n\t\t\tcontinue\n\t\t}",
+		"if stale {\n\t\t\tcontinue\n\t\t}")
+	staleDiags := ofCategory(diags, "staleepoch")
+	if len(staleDiags) != 1 {
+		t.Fatalf("want exactly 1 staleepoch diagnostic after removing tryOwners' refetch, got %d (all: %v)",
+			len(staleDiags), diags)
+	}
+	posn := fset.Position(staleDiags[0].Pos)
+	if filepath.Base(posn.Filename) != "fleet.go" {
+		t.Errorf("diagnostic at %v, want in fleet.go", posn)
+	}
+	if !strings.Contains(staleDiags[0].Message, "tryOwners") || !strings.Contains(staleDiags[0].Message, "rotted") {
+		t.Errorf("message does not name the rotted handler: %s", staleDiags[0].Message)
+	}
+}
+
+// TestBoundedRetrySeedingRemoval strips the documented sanction from
+// netblock's accept loop on a copy: the loop's success back edge (Accept
+// returned a connection) consults no budget by design and is allowed by
+// annotation, so deleting the //srclint:allow must make boundedretry
+// report exactly that loop, once. This also proves the allow is load-
+// bearing rather than rotted.
+func TestBoundedRetrySeedingRemoval(t *testing.T) {
+	diags, fset := mutatePackage(t, "srccache/internal/netblock", "server.go",
+		"\t//srclint:allow boundedretry accept loop lives as long as the server\n", "")
+	retryDiags := ofCategory(diags, "boundedretry")
+	if len(retryDiags) != 1 {
+		t.Fatalf("want exactly 1 boundedretry diagnostic after removing the accept-loop allow, got %d (all: %v)",
+			len(retryDiags), diags)
+	}
+	posn := fset.Position(retryDiags[0].Pos)
+	if filepath.Base(posn.Filename) != "server.go" {
+		t.Errorf("diagnostic at %v, want in server.go", posn)
+	}
+	if !strings.Contains(retryDiags[0].Message, "Accept") {
+		t.Errorf("message does not name the accept call: %s", retryDiags[0].Message)
+	}
+}
+
+// TestHotpathSeedingRemoval re-introduces the allocation the hot-path
+// sweep originally caught on a copy of internal/src: the segment write
+// column list built through a `[]int{}` composite literal inside the
+// //srclint:hotpath write path. hotpath must report exactly that literal,
+// once.
+func TestHotpathSeedingRemoval(t *testing.T) {
+	diags, fset := mutatePackage(t, "srccache/internal/src", "segment.go",
+		"wc := make([]int, 0, len(cols)+1)\n\t\twc = append(wc, cols...)\n\t\twriteCols = append(wc, parity)",
+		"writeCols = append(append([]int{}, cols...), parity)")
+	hotDiags := ofCategory(diags, "hotpath")
+	if len(hotDiags) != 1 {
+		t.Fatalf("want exactly 1 hotpath diagnostic after re-introducing the slice literal, got %d (all: %v)",
+			len(hotDiags), diags)
+	}
+	posn := fset.Position(hotDiags[0].Pos)
+	if filepath.Base(posn.Filename) != "segment.go" {
+		t.Errorf("diagnostic at %v, want in segment.go", posn)
+	}
+	if !strings.Contains(hotDiags[0].Message, "slice composite literal") {
+		t.Errorf("message does not name the allocation: %s", hotDiags[0].Message)
+	}
+}
+
+// TestFactsDeterminism pins the modular-facts serialization: analyzing the
+// same package with its files in reversed order and its dependency
+// listing shuffled must produce byte-identical encoded facts. The CI facts
+// cache and the vetx files both depend on this.
+func TestFactsDeterminism(t *testing.T) {
+	const importPath = "srccache/internal/cluster/fleet"
+	files, packageFile, pkgs := listPackageFiles(t, importPath)
+
+	encode := func(files []string, pkgs []*listPackage) []byte {
+		t.Helper()
+		fset := token.NewFileSet()
+		imp := exportImporter(fset, nil, packageFile)
+		_, facts, err := checkPackage(allAnalyzers, fset, imp, importPath, "", files, depFactsOver(fset, imp, pkgs), nil, nil)
+		if err != nil {
+			t.Fatalf("checkPackage: %v", err)
+		}
+		data, err := facts.Encode()
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		return data
+	}
+
+	base := encode(files, pkgs)
+	if len(base) == 0 || base[len(base)-1] != '\n' {
+		t.Fatalf("encoded facts must be non-empty and newline-terminated, got %d bytes", len(base))
+	}
+
+	revFiles := make([]string, len(files))
+	for i, f := range files {
+		revFiles[len(files)-1-i] = f
+	}
+	revPkgs := make([]*listPackage, len(pkgs))
+	for i, p := range pkgs {
+		revPkgs[len(pkgs)-1-i] = p
+	}
+	if got := encode(revFiles, revPkgs); !bytes.Equal(base, got) {
+		t.Errorf("facts differ under reversed file and package order:\nbase: %s\ngot:  %s", base, got)
+	}
+
+	if decoded, err := analysis.DecodeFacts(base); err != nil || decoded == nil {
+		t.Fatalf("DecodeFacts round trip failed: %v", err)
+	} else if redo, err := decoded.Encode(); err != nil || !bytes.Equal(base, redo) {
+		t.Errorf("Encode(Decode(x)) != x: %v", err)
+	}
+}
+
+// TestSelectAnalyzers pins the -checks/-exclude semantics: keep-list,
+// drop-list, order preservation, and the unknown-name error naming the
+// valid checks.
+func TestSelectAnalyzers(t *testing.T) {
+	sel, err := SelectAnalyzers(allAnalyzers, "", "")
+	if err != nil || len(sel) != len(allAnalyzers) {
+		t.Fatalf("no flags: got %d analyzers, err %v; want all %d", len(sel), err, len(allAnalyzers))
+	}
+
+	sel, err = SelectAnalyzers(allAnalyzers, "hotpath,wallclock", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 || sel[0].Name != "wallclock" || sel[1].Name != "hotpath" {
+		t.Errorf("-checks=hotpath,wallclock must keep registration order: got %v", names(sel))
+	}
+
+	sel, err = SelectAnalyzers(allAnalyzers, "", "hotpath, boundedretry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != len(allAnalyzers)-2 {
+		t.Errorf("-exclude dropped %d, want 2", len(allAnalyzers)-len(sel))
+	}
+	for _, a := range sel {
+		if a.Name == "hotpath" || a.Name == "boundedretry" {
+			t.Errorf("excluded analyzer %s survived", a.Name)
+		}
+	}
+
+	sel, err = SelectAnalyzers(allAnalyzers, "staleepoch", "staleepoch")
+	if err != nil || len(sel) != 0 {
+		t.Errorf("keep-then-drop of the same name: got %v, err %v; want empty", names(sel), err)
+	}
+
+	// Empty list elements (trailing or doubled commas) are tolerated.
+	if sel, err := SelectAnalyzers(allAnalyzers, "hotpath,,wallclock,", ""); err != nil || len(sel) != 2 {
+		t.Errorf("empty elements must be skipped: got %v, err %v", names(sel), err)
+	}
+
+	for _, tc := range []struct{ checks, exclude string }{
+		{"hotpaths", ""}, {"", "nosuch"},
+	} {
+		if _, err := SelectAnalyzers(allAnalyzers, tc.checks, tc.exclude); err == nil {
+			t.Errorf("checks=%q exclude=%q: want unknown-name error", tc.checks, tc.exclude)
+		} else if !strings.Contains(err.Error(), "valid checks") || !strings.Contains(err.Error(), "wallclock") {
+			t.Errorf("error must list the valid checks: %v", err)
+		}
+	}
+}
+
+// TestSelectionFiltersDiagnostics asserts a -checks subset actually
+// changes what checkPackage reports: the hotpath seeding mutation fires
+// under -checks=hotpath and is silent under -checks=wallclock, and the
+// NDJSON stream only ever carries selected analyzer names.
+func TestSelectionFiltersDiagnostics(t *testing.T) {
+	mutate := func(selected []*analysis.Analyzer) []analysis.Diagnostic {
+		t.Helper()
+		const importPath = "srccache/internal/src"
+		files, packageFile, pkgs := listPackageFiles(t, importPath)
+		var target string
+		for _, f := range files {
+			if filepath.Base(f) == "segment.go" {
+				target = f
+			}
+		}
+		src, err := os.ReadFile(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutated := strings.Replace(string(src),
+			"wc := make([]int, 0, len(cols)+1)\n\t\twc = append(wc, cols...)\n\t\twriteCols = append(wc, parity)",
+			"writeCols = append(append([]int{}, cols...), parity)", 1)
+		if mutated == string(src) {
+			t.Fatal("seed site missing from segment.go; update this test")
+		}
+		mutatedFile := filepath.Join(t.TempDir(), "segment.go")
+		if err := os.WriteFile(mutatedFile, []byte(mutated), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range files {
+			if f == target {
+				files[i] = mutatedFile
+			}
+		}
+		fset := token.NewFileSet()
+		imp := exportImporter(fset, nil, packageFile)
+		staleSkip := staleSkipFor(allAnalyzers, selected)
+		diags, _, err := checkPackage(selected, fset, imp, importPath, "", files, depFactsOver(fset, imp, pkgs), staleSkip, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+
+	on, err := SelectAnalyzers(allAnalyzers, "hotpath", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := mutate(on)
+	if len(ofCategory(diags, "hotpath")) != 1 {
+		t.Errorf("-checks=hotpath must still catch the seeded allocation: %v", diags)
+	}
+
+	var buf bytes.Buffer
+	fset := token.NewFileSet()
+	f := fset.AddFile("x.go", -1, 100)
+	f.SetLines([]int{0})
+	for i := range diags {
+		diags[i].Pos = f.LineStart(1)
+	}
+	if err := writeJSONDiags(&buf, fset, ".", diags); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var got map[string]any
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got["analyzer"] != "hotpath" {
+			t.Errorf("NDJSON carries unselected analyzer %v", got["analyzer"])
+		}
+	}
+
+	off, err := SelectAnalyzers(allAnalyzers, "wallclock", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := mutate(off); len(diags) != 0 {
+		t.Errorf("-checks=wallclock must not report the hotpath seed (or stale allows): %v", diags)
+	}
+}
+
+func names(as []*analysis.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
 }

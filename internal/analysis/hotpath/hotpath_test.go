@@ -1,0 +1,18 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpath.Analyzer, "hot")
+}
+
+// TestNoRoots: a package with no //srclint:hotpath annotation reports
+// nothing, whatever it allocates.
+func TestNoRoots(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpath.Analyzer, "hotdep")
+}

@@ -1,0 +1,91 @@
+// Package hot exercises the hotpath analyzer: a //srclint:hotpath root,
+// transitive infection of local callees and closures, error-path
+// exemptions, a //srclint:coldpath boundary, and cross-package infection
+// through hotdep's HotUnsafe fact.
+package hot
+
+import (
+	"fmt"
+
+	"hotdep"
+)
+
+type header struct{ size int }
+
+type cache struct {
+	t    *hotdep.Table
+	buf  []byte
+	tags map[string]int
+}
+
+// submit is the hot root.
+//
+//srclint:hotpath
+func (c *cache) submit(n int) error {
+	c.step(n)
+	if err := c.store(n); err != nil {
+		return fmt.Errorf("submit %d: %w", n, err) // exempt: trailing error operand
+	}
+	return nil
+}
+
+// step is infected through the local callgraph.
+func (c *cache) step(n int) {
+	h := &header{size: n} // want `composite literal escapes to the heap`
+	_ = h
+	ids := []int{n, n + 1} // want `slice composite literal allocates`
+	_ = ids
+	for k := range c.tags { // want `iterates a map`
+		_ = k
+	}
+	_ = c.t.Sum() // want `call to hotdep.Table.Sum on the hot path .root cache.submit.: iterates a map`
+	_ = c.t.Get(n)
+	if len(c.buf) > 1024 {
+		c.reclaim() // fine: reclaim is a declared coldpath boundary
+	}
+}
+
+func (c *cache) store(n int) error {
+	for i := 0; i < n; i++ {
+		defer c.flush() // want `defer inside a loop`
+	}
+	fmt.Printf("storing %d\n", n) // want `calls fmt.Printf`
+	if err := c.checkFull(); err != nil {
+		msg := fmt.Sprintf("store full: %v", err) // exempt: error-guarded branch
+		_ = msg
+		return err
+	}
+	return nil
+}
+
+func (c *cache) flush() {}
+
+func (c *cache) checkFull() error { return nil }
+
+// reclaim is a declared slow path: nothing below it is reported even
+// though it allocates freely.
+//
+//srclint:coldpath amortized reclamation, runs off the request path
+func (c *cache) reclaim() {
+	junk := map[string]int{"a": 1}
+	for k := range junk {
+		_ = k
+	}
+}
+
+// apply shows closure infection: the literal body is on the hot path.
+//
+//srclint:hotpath
+func (c *cache) apply() {
+	fn := func() {
+		pair := []int{1, 2} // want `slice composite literal allocates`
+		_ = pair
+	}
+	fn()
+}
+
+// unreached is never called from a hot root: allocating is fine here.
+func (c *cache) unreached() {
+	everything := []string{"allocates"}
+	_ = everything
+}

@@ -1,0 +1,20 @@
+// Package hotdep exports one hot-unsafe function (Sum iterates a map) and
+// one clean one, so the hotpath analyzer's cross-package infection can be
+// exercised from the hot fixture.
+package hotdep
+
+// Table is a toy lookup structure.
+type Table struct{ m map[int]int }
+
+// Sum walks the whole map; its HotUnsafe fact poisons hot callers in
+// other packages.
+func (t *Table) Sum() int {
+	s := 0
+	for _, v := range t.m {
+		s += v
+	}
+	return s
+}
+
+// Get is hot-clean.
+func (t *Table) Get(k int) int { return t.m[k] }

@@ -1,0 +1,20 @@
+package staleepoch_test
+
+import (
+	"testing"
+
+	"srccache/internal/analysis/analysistest"
+	"srccache/internal/analysis/staleepoch"
+)
+
+func TestStaleEpoch(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), staleepoch.Analyzer,
+		"a/internal/cluster/fleet")
+}
+
+// TestOutOfScope: the contract package itself is not in the cluster scope,
+// so the analyzer must stay silent on it even though it constructs the
+// contract error.
+func TestOutOfScope(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), staleepoch.Analyzer, "nb")
+}

@@ -1,0 +1,91 @@
+// Package fleet exercises every rule of the staleepoch analyzer against
+// the nb contract package.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"nb"
+)
+
+type pool struct{ c *nb.Client }
+
+// bad calls a surfacing function with no handler on any path.
+func (p *pool) bad(buf []byte) error {
+	return p.c.ReadAt(buf, 0) // want `call to nb.Client.ReadAt can surface the staleepoch contract`
+}
+
+// guarded handles the stale error with a refetch on the retry path.
+func (p *pool) guarded(buf []byte) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = p.c.ReadAt(buf, 0)
+		if errors.Is(err, nb.ErrStaleEpoch) {
+			p.refetchTable()
+			continue
+		}
+		return err
+	}
+	return err
+}
+
+func (p *pool) refetchTable() {}
+
+// surfacer passes responsibility to its own callers by annotation.
+//
+//srclint:surfaces staleepoch
+func (p *pool) surfacer(buf []byte) error {
+	return p.c.ReadAt(buf, 0)
+}
+
+// callsSurfacer trips over the intra-package fact of surfacer.
+func (p *pool) callsSurfacer(buf []byte) error {
+	return p.surfacer(buf) // want `call to pool.surfacer can surface the staleepoch contract`
+}
+
+// makeStale constructs the contract error itself; surfacing is inferred,
+// no annotation needed.
+func (p *pool) makeStale() error {
+	return fmt.Errorf("routing: %w", nb.ErrStaleEpoch)
+}
+
+// callsMaker trips over the inferred fact.
+func (p *pool) callsMaker() error {
+	return p.makeStale() // want `call to pool.makeStale can surface the staleepoch contract`
+}
+
+// runOp is the verified closure-runner: guard plus refetch on the retry
+// path, annotated so closures handed to it are covered.
+//
+//srclint:handles staleepoch
+func (p *pool) runOp(op func(*nb.Client) error) error {
+	var err error
+	for i := 0; i < 2; i++ {
+		err = op(p.c)
+		if errors.Is(err, nb.ErrStaleEpoch) {
+			p.refetchTable()
+			continue
+		}
+		return err
+	}
+	return err
+}
+
+// viaClosure is satisfied by the closure rule: the literal is an argument
+// to the handles-annotated runOp.
+func (p *pool) viaClosure(buf []byte) error {
+	return p.runOp(func(c *nb.Client) error { return c.ReadAt(buf, 0) })
+}
+
+// brokenHandler claims to handle the contract but never refetches: both
+// the rotten annotation and the unguarded call are reported.
+//
+//srclint:handles staleepoch
+func (p *pool) brokenHandler(buf []byte) error { // want `annotated //srclint:handles staleepoch but its body has no errors.Is`
+	err := p.c.ReadAt(buf, 0) // want `call to nb.Client.ReadAt can surface the staleepoch contract`
+	if errors.Is(err, nb.ErrStaleEpoch) {
+		return err
+	}
+	return nil
+}

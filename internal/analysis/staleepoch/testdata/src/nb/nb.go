@@ -1,0 +1,28 @@
+// Package nb is a miniature netblock: it declares the stale-epoch
+// contract error and a client whose ReadAt can surface it.
+package nb
+
+import "errors"
+
+// ErrStaleEpoch is returned when the server refuses a request routed with
+// an outdated placement table.
+//
+//srclint:contracterr staleepoch
+var ErrStaleEpoch = errors.New("nb: stale routing epoch")
+
+// Client is a toy remote-block client.
+type Client struct{ epoch uint64 }
+
+// ReadAt reads a block; a member that no longer owns the range refuses
+// with the stale-epoch error.
+//
+//srclint:surfaces staleepoch
+func (c *Client) ReadAt(p []byte, off int64) error {
+	if c.epoch == 0 {
+		return ErrStaleEpoch
+	}
+	return nil
+}
+
+// Refresh bumps the client's view of the placement table.
+func (c *Client) Refresh() { c.epoch++ }

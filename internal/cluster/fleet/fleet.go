@@ -15,6 +15,7 @@ package fleet
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -106,8 +107,47 @@ func (b *ChainBackend) Forwards() (ok, failed int64) {
 	return b.forwards.Load(), b.forwardErrs.Load()
 }
 
-// ReadAt serves locally — reads never traverse the chain.
-func (b *ChainBackend) ReadAt(p []byte, off int64) error { return b.local.ReadAt(p, off) }
+// ReadAt serves locally — reads never traverse the chain — but only when
+// this node may: a ring member that does not own the requested extent
+// refuses with the stale-epoch marker, so a client routed by an outdated
+// table refetches instead of consuming bytes the current chain no longer
+// maintains here. Spares (nodes absent from the ring) serve everything:
+// rebalance bootstrap and repair traffic address them directly before any
+// committed ring includes them.
+func (b *ChainBackend) ReadAt(p []byte, off int64) error {
+	if err := b.refuseStale("read", off, int64(len(p))); err != nil {
+		return err
+	}
+	return b.local.ReadAt(p, off)
+}
+
+// refuseStale rejects an operation addressed to a ring member that does
+// not own the extent — the server side of the staleepoch contract, the
+// real-transport twin of the simulation's Node.checkEpoch. Only members
+// refuse: a spare (absent from the ring) must keep serving rebalance
+// bootstrap and repair traffic addressed to it directly.
+func (b *ChainBackend) refuseStale(verb string, off, n int64) error {
+	ring := b.Ring()
+	if _, member := ring.Member(b.self); member && !b.ownsExtent(ring, off, n) {
+		return fmt.Errorf("fleet: %s: %s [%d,%d) not owned by %s",
+			netblock.StaleEpochText, verb, off, off+n, b.self)
+	}
+	return nil
+}
+
+// ownsExtent reports whether self is in the replica chain of every range
+// the extent touches.
+func (b *ChainBackend) ownsExtent(ring *cluster.Ring, off, n int64) bool {
+	end := off + n
+	for off < end {
+		rng := ring.RangeOf(off)
+		if !ring.OwnedBy(rng, b.self) {
+			return false
+		}
+		off = (int64(rng) + 1) * ring.RangeBytes
+	}
+	return true
+}
 
 // Size reports the local volume size.
 func (b *ChainBackend) Size() int64 { return b.local.Size() }
@@ -118,13 +158,25 @@ func (b *ChainBackend) Flush() error { return b.local.Flush() }
 
 // WriteAt applies locally, then forwards each per-range piece down the
 // chain. The local apply is the acknowledged copy; forward failures are
-// recorded for repair, never surfaced to the writer.
+// recorded for repair, never surfaced to the writer. A member that no
+// longer owns the extent refuses instead of applying: forwardPiece only
+// pushes from a node's own chain position, so a stale-headed write would
+// strand on this replica while the current chain never sees it — the
+// simulation refuses the same way (handleWrite's epoch check).
 func (b *ChainBackend) WriteAt(p []byte, off int64) error {
+	if err := b.refuseStale("write", off, int64(len(p))); err != nil {
+		return err
+	}
 	if err := b.local.WriteAt(p, off); err != nil {
 		return err
 	}
 	base := off
 	b.forward(off, int64(len(p)), func(c *netblock.Client, pieceOff, n int64) error {
+		// A successor's stale-epoch refusal (epoch skew mid-ring-push) is a
+		// forward failure like any other: counted for repair, never
+		// refetched here — servers converge by the control plane's pushes,
+		// not by chasing each other's tables.
+		//srclint:allow staleepoch forward failures are repair's problem, not the writer's
 		_, err := c.WriteAt(p[pieceOff-base:pieceOff-base+n], pieceOff)
 		return err
 	})
@@ -132,12 +184,19 @@ func (b *ChainBackend) WriteAt(p []byte, off int64) error {
 }
 
 // Trim applies locally and forwards, mirroring WriteAt: a trim is a
-// mutation, and replicas that miss it would answer reads with deleted data.
+// mutation, and replicas that miss it would answer reads with deleted
+// data. Stale routes are refused for the same reason writes are.
 func (b *ChainBackend) Trim(off, n int64) error {
+	if err := b.refuseStale("trim", off, n); err != nil {
+		return err
+	}
 	if err := b.local.Trim(off, n); err != nil {
 		return err
 	}
 	b.forward(off, n, func(c *netblock.Client, off, n int64) error {
+		// Same sanctioned drop as WriteAt's forward: repair reconciles
+		// replicas that missed the trim.
+		//srclint:allow staleepoch forward failures are repair's problem, not the writer's
 		return c.Trim(off, n)
 	})
 	return nil
@@ -253,19 +312,24 @@ type Stats struct {
 	Reads, Writes int64
 	Failovers     int64 // attempts that moved past a dead or erroring owner
 	Repairs       int64 // ranges streamed by RepairRange or Rebalance
+	Refetches     int64 // routing-table refetches after stale-epoch refusals
 }
 
 // Fleet is the host-side initiator over real netblock servers: it splits
 // volume requests on range boundaries, addresses each piece's replica chain
-// head-first, and fails over across owners when one does not answer.
+// head-first, and fails over across owners when one does not answer. When a
+// member refuses a read with netblock.ErrStaleEpoch, the fleet refetches
+// its routing table through the SetRefetch source and retries against the
+// current owners — the staleepoch contract, DESIGN.md §8 rule 11.
 type Fleet struct {
 	opts netblock.ClientOptions
 
-	mu    sync.Mutex
-	ring  *cluster.Ring
-	conns map[string]*netblock.Client
+	mu      sync.Mutex
+	ring    *cluster.Ring
+	conns   map[string]*netblock.Client
+	refetch func() *cluster.Ring
 
-	reads, writes, failovers, repairs atomic.Int64
+	reads, writes, failovers, repairs, refetches atomic.Int64
 }
 
 // New builds a fleet client over a ring whose members carry dialable
@@ -306,7 +370,44 @@ func (f *Fleet) Stats() Stats {
 		Writes:    f.writes.Load(),
 		Failovers: f.failovers.Load(),
 		Repairs:   f.repairs.Load(),
+		Refetches: f.refetches.Load(),
 	}
+}
+
+// SetRefetch installs the routing-table source consulted after a
+// stale-epoch refusal: when a member answers a read with
+// netblock.ErrStaleEpoch, tryOwners calls fn and retries under the ring it
+// returns. In production fn asks the membership coordinator for the
+// committed placement; tests hand back the post-churn ring directly. With
+// no source installed a refusal stays fatal.
+func (f *Fleet) SetRefetch(fn func() *cluster.Ring) {
+	f.mu.Lock()
+	f.refetch = fn
+	f.mu.Unlock()
+}
+
+// refetchRing pulls a fresh placement from the SetRefetch source and
+// installs it, reporting whether the routing actually changed. The
+// stale-epoch retry loop stops when it did not, so a source that cannot
+// advance the ring cannot spin the client.
+func (f *Fleet) refetchRing() bool {
+	f.mu.Lock()
+	fn := f.refetch
+	old := f.ring
+	f.mu.Unlock()
+	if fn == nil {
+		return false
+	}
+	next := fn()
+	if next == nil || next == old || next.Size() != old.Size() {
+		return false
+	}
+	f.mu.Lock()
+	if f.ring == old {
+		f.ring = next
+	}
+	f.mu.Unlock()
+	return true
 }
 
 // conn returns the cached connection to a member, dialing on first use.
@@ -427,27 +528,57 @@ func (f *Fleet) split(p []byte, off int64, op func(rng int, piece []byte, off in
 	return nil
 }
 
+// maxStaleRetries bounds how many routing-table refetches one operation
+// may consume after stale-epoch refusals. Each retry additionally requires
+// the refetched ring to differ from the one just tried, so the bound only
+// bites when the placement keeps moving under the operation.
+const maxStaleRetries = 3
+
 // tryOwners runs op against range rng's owners in chain order until one
 // serves, dropping connections that fail at the transport so later attempts
 // redial. Remote errors (the server answered and refused) also fail over:
-// a replica mid-restart may refuse briefly while its sibling serves.
+// a replica mid-restart may refuse briefly while its sibling serves. A
+// stale-epoch refusal (netblock.ErrStaleEpoch) is different — every member
+// of an outdated chain refuses the same way — so instead of burning the
+// failover pass the client refetches its routing table through the
+// SetRefetch source and retries against the current owners, bounded by
+// maxStaleRetries and by the requirement that each refetch actually
+// advance the ring.
+//
+//srclint:handles staleepoch
 func (f *Fleet) tryOwners(rng int, op func(c *netblock.Client) error) error {
-	ring := f.Ring()
 	var last error
-	for _, id := range ring.Owners(rng) {
-		c, err := f.conn(ring, id)
-		if err != nil {
-			last = err
-			f.failovers.Add(1)
+	for attempt := 0; attempt <= maxStaleRetries; attempt++ {
+		ring := f.Ring()
+		stale := false
+		for _, id := range ring.Owners(rng) {
+			c, err := f.conn(ring, id)
+			if err != nil {
+				last = err
+				f.failovers.Add(1)
+				continue
+			}
+			if err := op(c); err != nil {
+				if errors.Is(err, netblock.ErrStaleEpoch) {
+					// The refusal is an answer, not a dead peer: keep the
+					// connection, stop addressing this chain, and refetch —
+					// the rest of the stale chain would refuse identically.
+					last = err
+					stale = true
+					break
+				}
+				f.drop(id, c)
+				last = err
+				f.failovers.Add(1)
+				continue
+			}
+			return nil
+		}
+		if stale && f.refetchRing() {
+			f.refetches.Add(1)
 			continue
 		}
-		if err := op(c); err != nil {
-			f.drop(id, c)
-			last = err
-			f.failovers.Add(1)
-			continue
-		}
-		return nil
+		break
 	}
 	return fmt.Errorf("fleet: range %d: no replica served: %w", rng, last)
 }
@@ -456,7 +587,13 @@ func (f *Fleet) tryOwners(rng int, op func(c *netblock.Client) error) error {
 // that answers, then reads it back and verifies byte identity — the real
 // path's anti-entropy step after a wipe or missed write. The write goes
 // straight to the target (which forwards nothing useful: repair traffic is
-// addressed below its chain position or outside the chain entirely).
+// addressed below its chain position or outside the chain entirely). Repair
+// reads address one specific replica, so a stale-epoch refusal propagates
+// to the caller instead of being refetched away: it means the operator's
+// ring no longer matches the cluster, and repairing under it would copy
+// the wrong placement.
+//
+//srclint:surfaces staleepoch
 func (f *Fleet) RepairRange(id string, rng int) error {
 	ring := f.Ring()
 	var src *netblock.Client
@@ -494,7 +631,11 @@ func (f *Fleet) RepairRange(id string, rng int) error {
 // an old owner to the new one — the graceful part of join/leave. The caller
 // swaps rings (client and every node) only after Rebalance returns, so old
 // owners keep serving throughout; writes landing during the stream reach
-// the target through the old chain's forwards or a later RepairRange.
+// the target through the old chain's forwards or a later RepairRange. Like
+// RepairRange, a stale-epoch refusal surfaces: it proves the old ring the
+// caller passed is not the one the members route by.
+//
+//srclint:surfaces staleepoch
 func (f *Fleet) Rebalance(old, next *cluster.Ring) error {
 	if old.Size() != next.Size() {
 		return fmt.Errorf("fleet: rebalance changes volume size %d -> %d", old.Size(), next.Size())
@@ -527,7 +668,11 @@ func (f *Fleet) Rebalance(old, next *cluster.Ring) error {
 	return nil
 }
 
-// stream copies [base, base+n) from src to tgt in bounded chunks.
+// stream copies [base, base+n) from src to tgt in bounded chunks. Reads
+// address the chosen source replica directly, so a stale-epoch refusal
+// surfaces to the repair caller rather than triggering a refetch.
+//
+//srclint:surfaces staleepoch
 func (f *Fleet) stream(src, tgt *netblock.Client, base, n int64) error {
 	buf := make([]byte, repairChunk)
 	for done := int64(0); done < n; {
@@ -547,7 +692,10 @@ func (f *Fleet) stream(src, tgt *netblock.Client, base, n int64) error {
 }
 
 // verify reads [base, base+n) from both sides and compares — repair's
-// byte-identity check.
+// byte-identity check. Surfaces the stale-epoch contract for the same
+// reason stream does: its reads pin specific replicas.
+//
+//srclint:surfaces staleepoch
 func (f *Fleet) verify(src, tgt *netblock.Client, base, n int64) error {
 	want := make([]byte, repairChunk)
 	got := make([]byte, repairChunk)

@@ -2,6 +2,7 @@ package fleet_test
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -416,5 +417,103 @@ func TestFleetErrorWhenAllReplicasDead(t *testing.T) {
 	}
 	if want := fmt.Sprintf("range %d", 0); !bytes.Contains([]byte(err.Error()), []byte(want)) {
 		t.Fatalf("error %q does not name the range", err)
+	}
+}
+
+// TestFleetStaleEpochRefetch drives the staleepoch contract end to end
+// over real TCP: a membership change the client never heard about makes
+// its routing table stale, the old owner (still a ring member) refuses
+// with netblock.ErrStaleEpoch, and the fleet either surfaces the contract
+// error (no refetch source) or refetches the committed ring and retries
+// against the current owners (SetRefetch installed).
+func TestFleetStaleEpochRefetch(t *testing.T) {
+	nodes, ring1, fl := startFleet(t, []string{"a", "b"}, 1)
+	model := fill(t, fl, ring1, 77)
+
+	// Commit a join behind the client's back: node c comes up as a spare,
+	// the moved ranges are streamed to it, and every server (but not the
+	// client) swaps to the new ring.
+	spare := startNode(t, "c", ring1)
+	ring2, err := ring1.WithJoin(cluster.Member{ID: "c", Addr: spare.addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := cluster.Moves(ring1, ring2)
+	if len(moves) == 0 {
+		t.Fatal("join moved no ranges; pick different member IDs")
+	}
+	if err := fl.Rebalance(ring1, ring2); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if err := n.chain.SetRing(ring2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := spare.chain.SetRing(ring2); err != nil {
+		t.Fatal(err)
+	}
+
+	mv := moves[0]
+	off := int64(mv.Range) * tRangeBytes
+	buf := make([]byte, tRangeBytes)
+
+	// Without a refetch source the refusal must surface as the contract
+	// error — not as a generic failure, and not as a hang.
+	if err := fl.ReadAt(buf, off); !errors.Is(err, netblock.ErrStaleEpoch) {
+		t.Fatalf("stale read err = %v, want netblock.ErrStaleEpoch", err)
+	}
+	if err := fl.WriteAt(model[off:off+8], off); !errors.Is(err, netblock.ErrStaleEpoch) {
+		t.Fatalf("stale write err = %v, want netblock.ErrStaleEpoch", err)
+	}
+
+	// A refetch source that cannot advance the ring must not spin: the
+	// bounded retry gives up and the contract error still surfaces.
+	fl.SetRefetch(func() *cluster.Ring { return fl.Ring() })
+	if err := fl.ReadAt(buf, off); !errors.Is(err, netblock.ErrStaleEpoch) {
+		t.Fatalf("non-advancing refetch err = %v, want netblock.ErrStaleEpoch", err)
+	}
+	if n := fl.Stats().Refetches; n != 0 {
+		t.Fatalf("non-advancing refetch counted %d refetches", n)
+	}
+
+	// With the committed ring available, the same read self-heals: the
+	// fleet refetches, installs ring2, and serves from the new owner.
+	fl.SetRefetch(func() *cluster.Ring { return ring2 })
+	if err := fl.ReadAt(buf, off); err != nil {
+		t.Fatalf("read after refetch: %v", err)
+	}
+	if !bytes.Equal(buf, rangeSlice(model, mv.Range)) {
+		t.Fatal("refetched read returned wrong bytes")
+	}
+	if n := fl.Stats().Refetches; n != 1 {
+		t.Errorf("refetches = %d, want 1", n)
+	}
+
+	// The fleet now routes by ring2: the whole volume reads back, and a
+	// write to the moved range lands on the new owner's chain.
+	whole := make([]byte, ring2.Size())
+	if err := fl.ReadAt(whole, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(whole, model) {
+		t.Fatal("full volume mismatch after ring swap")
+	}
+	patch := bytes.Repeat([]byte{0xEE}, 64)
+	if err := fl.WriteAt(patch, off); err != nil {
+		t.Fatalf("write after refetch: %v", err)
+	}
+	owner := ring2.Owners(mv.Range)[0]
+	var got []byte
+	if owner == "c" {
+		got = make([]byte, tRangeBytes)
+		if err := spare.back.ReadAt(got, off); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		got = backendRange(t, nodes[owner], mv.Range)
+	}
+	if !bytes.Equal(got[:64], patch) {
+		t.Fatalf("write after refetch missed new owner %s", owner)
 	}
 }

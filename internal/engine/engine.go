@@ -228,6 +228,10 @@ func (s *shard) exec(o *op) error {
 }
 
 // run is the worker loop: execute batches in arrival order until stop.
+// It is the per-shard service loop every request crosses, so it anchors
+// the allocation-free hot-path contract (DESIGN.md §8 rule 13).
+//
+//srclint:hotpath
 func (s *shard) run(wg *sync.WaitGroup) {
 	defer wg.Done()
 	for b := range s.q {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 )
@@ -14,6 +15,23 @@ import (
 // ErrRetryBudget reports that an operation gave up because its
 // ClientOptions.RetryBudget elapsed, with retry attempts still available.
 var ErrRetryBudget = errors.New("netblock: retry budget exhausted")
+
+// StaleEpochText is the substring a server-side refusal carries across the
+// wire to signal a stale-epoch condition; attempt maps refusal payloads
+// containing it to ErrStaleEpoch.
+const StaleEpochText = "stale routing epoch"
+
+// ErrStaleEpoch reports that the server refused a request because it was
+// routed with an outdated placement table: the server is a ring member
+// that no longer owns the requested range. The caller must refetch its
+// routing table and retry against the current owner — see the staleepoch
+// contract in DESIGN.md §8. Reads, writes, and trims can all surface it;
+// the refusal mirrors the simulation's epoch check, where serving (or
+// applying) under rules the routing no longer grants would strand data on
+// a non-owner.
+//
+//srclint:contracterr staleepoch
+var ErrStaleEpoch = errors.New("netblock: " + StaleEpochText)
 
 // ClientOptions tune the client's failure behavior. The zero value keeps
 // the original semantics: block forever on a dead peer, fail on the first
@@ -229,6 +247,12 @@ func (c *Client) attempt(op uint8, off uint64, length uint32, payload []byte) ([
 		return nil, err
 	}
 	if status != statusOK {
+		// A stale-epoch refusal is still a remote answer (ErrRemote keeps
+		// the retry logic from pointlessly repeating the refusal), but it
+		// additionally carries the routing contract for callers to handle.
+		if strings.Contains(string(resp), StaleEpochText) {
+			return nil, fmt.Errorf("%w (%w): %s", ErrStaleEpoch, ErrRemote, resp)
+		}
 		return nil, fmt.Errorf("%w: %s", ErrRemote, resp)
 	}
 	return resp, nil
@@ -246,7 +270,13 @@ func (c *Client) check(off int64, n int) error {
 	return nil
 }
 
-// ReadAt fills p from the volume at off. It implements io.ReaderAt.
+// ReadAt fills p from the volume at off. It implements io.ReaderAt. When
+// the remote refuses the read because the caller's routing table is stale
+// (a ring member that no longer owns the range), the error wraps
+// ErrStaleEpoch: the caller must refetch its table and retry against the
+// current owner.
+//
+//srclint:surfaces staleepoch
 func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 	if err := c.check(off, len(p)); err != nil {
 		return 0, err
@@ -261,7 +291,11 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 	return copy(p, resp), nil
 }
 
-// WriteAt stores p at off. It implements io.WriterAt.
+// WriteAt stores p at off. It implements io.WriterAt. A stale-routed
+// write is refused with ErrStaleEpoch just like a read: accepting it
+// would strand the bytes on a member the current chain no longer reads.
+//
+//srclint:surfaces staleepoch
 func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 	if err := c.check(off, len(p)); err != nil {
 		return 0, err
@@ -272,7 +306,10 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
-// Trim zeroes [off, off+n).
+// Trim zeroes [off, off+n). Like WriteAt it is a mutation, so a stale
+// route is refused with ErrStaleEpoch.
+//
+//srclint:surfaces staleepoch
 func (c *Client) Trim(off, n int64) error {
 	if err := c.check(off, int(n)); err != nil {
 		return err

@@ -3,7 +3,9 @@ package netblock
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -314,5 +316,82 @@ func TestRemoteErrorNotTransient(t *testing.T) {
 	}
 	if transient(nil) {
 		t.Fatal("nil error classified transient")
+	}
+}
+
+// staleBackend plays the server side of the staleepoch contract: a ring
+// member that no longer owns the extent, refusing every read and write
+// with the wire marker a ChainBackend would use.
+type staleBackend struct {
+	Backend
+	reads atomic.Int32
+}
+
+func (b *staleBackend) ReadAt(p []byte, off int64) error {
+	b.reads.Add(1)
+	return fmt.Errorf("backend: %s: read [%d,%d) not owned here", StaleEpochText, off, off+int64(len(p)))
+}
+
+func (b *staleBackend) WriteAt(p []byte, off int64) error {
+	return fmt.Errorf("backend: %s: write [%d,%d) not owned here", StaleEpochText, off, off+int64(len(p)))
+}
+
+// TestClientClassifiesStaleEpochRefusal pins the wire classification: a
+// refusal payload carrying StaleEpochText must come back as ErrStaleEpoch,
+// must still read as a remote answer (ErrRemote) so the transport retry
+// loop does not repeat the refusal, and must not consume retry attempts.
+func TestClientClassifiesStaleEpochRefusal(t *testing.T) {
+	mem, err := MemBackend(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := &staleBackend{Backend: mem}
+	srv, err := NewServerWith(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := DialOptions(addr.String(), ClientOptions{
+		RetryLimit: 3,
+		RetryDelay: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	_, err = cli.ReadAt(make([]byte, 8), 0)
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("read refusal = %v, want ErrStaleEpoch", err)
+	}
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("stale refusal must remain a remote answer, got %v", err)
+	}
+	if n := sb.reads.Load(); n != 1 {
+		t.Errorf("refused read reached the backend %d times; remote refusals must not be retried", n)
+	}
+
+	if _, err := cli.WriteAt([]byte("x"), 0); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("write refusal = %v, want ErrStaleEpoch", err)
+	}
+}
+
+// TestClientOrdinaryRefusalIsNotStale guards the classifier's precision:
+// a remote refusal without the marker stays a plain ErrRemote.
+func TestClientOrdinaryRefusalIsNotStale(t *testing.T) {
+	srv, cli := startPair(t, 4096)
+	defer srv.Close()
+	defer cli.Close()
+	// Reads beyond the volume are refused remotely by check().
+	_, err := cli.ReadAt(make([]byte, 16), 4096-8)
+	if err == nil {
+		t.Fatal("out-of-volume read succeeded")
+	}
+	if errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("ordinary refusal misclassified as stale epoch: %v", err)
 	}
 }

@@ -228,6 +228,11 @@ const acceptBackoffMax = time.Second
 func (s *Server) acceptLoop(lis net.Listener) {
 	defer s.wg.Done()
 	var delay time.Duration
+	// A successful Accept is productive work, not a retry: this loop is
+	// meant to run for the server's lifetime, so its success back edge
+	// consults no budget. The failure paths back off via time.After and
+	// watch the shutdown channel.
+	//srclint:allow boundedretry accept loop lives as long as the server
 	for {
 		conn, err := lis.Accept()
 		if err != nil {

@@ -141,7 +141,9 @@ func (c *Cache) writeSegment(at vtime.Time, buf *segBuffer, dirty bool) (vtime.T
 	}
 	writeCols := cols
 	if parity >= 0 {
-		writeCols = append(append([]int{}, cols...), parity)
+		wc := make([]int, 0, len(cols)+1)
+		wc = append(wc, cols...)
+		writeCols = append(wc, parity)
 	}
 	for _, col := range writeCols {
 		used := int64(len(perCol[col]))
@@ -320,6 +322,8 @@ func (c *Cache) handleFailedColumns(failedCols []int, perCol [][]summaryEntry, p
 
 // recordSegmentContent writes page tags, parity tags, and MS/ME summary
 // blobs to the device content stores.
+//
+//srclint:coldpath content-tracking bookkeeping, only runs under cfg.TrackContent verification mode
 func (c *Cache) recordSegmentContent(sg, seg, gen int64, parity int, perCol [][]summaryEntry, colTags [][]blockdev.Tag, maxUsed int64, failedCols []int) error {
 	colBase := c.lay.colOffset(c.cfg, sg, seg)
 	basePage := colBase / blockdev.PageSize

@@ -203,7 +203,13 @@ func (c *Cache) dropPage(lba int64, e entry) {
 }
 
 // Submit implements the host-facing block interface of the cache volume
-// (the primary storage's address space).
+// (the primary storage's address space). It is the cache's per-request
+// entry point — the write/read hot path — so it anchors the
+// allocation-free hot-path contract (DESIGN.md §8 rule 13); maintenance
+// work it can trigger (GC, repair, degraded reads) is fenced off behind
+// //srclint:coldpath boundaries.
+//
+//srclint:hotpath
 func (c *Cache) Submit(at vtime.Time, req blockdev.Request) (vtime.Time, error) {
 	if err := req.Validate(c.cfg.Primary.Capacity()); err != nil {
 		return at, err
