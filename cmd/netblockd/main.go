@@ -23,7 +23,11 @@
 // is the ring version advertised to pinging clients.
 //
 // SIGINT or SIGTERM drains gracefully: the listener closes, in-flight
-// requests get -drain to finish, and idle connections are dropped.
+// requests get -drain to finish, and idle connections are dropped. In
+// fleet mode the daemon first deregisters: for one -drain window it keeps
+// serving while pings advertise the drain flag (and epoch pushes are
+// refused), so a supervisor classifies the planned restart as a departure
+// rather than a fail-stop.
 package main
 
 import (
@@ -194,6 +198,17 @@ func run(args []string, stdout io.Writer, stop <-chan struct{}, ready chan<- net
 		ready <- bound
 	}
 	<-stop
+	if chain != nil {
+		// Fleet mode deregisters before it disappears: BeginDrain makes
+		// every ping advertise the drain flag (and refuses new epochs), and
+		// the grace window keeps serving long enough for a pinging
+		// supervisor to observe it — so a planned restart is classified as
+		// a departure, not a fail-stop, and triggers no quarantine/repair
+		// cycle. Standalone servers have no supervisor to notify.
+		fmt.Fprintln(stdout, "netblockd: draining (fleet deregister)")
+		srv.BeginDrain()
+		time.Sleep(*drain)
+	}
 	fmt.Fprintln(stdout, "netblockd: shutting down")
 	err = srv.Close()
 	if chain != nil {

@@ -5,6 +5,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"srccache/internal/cluster"
 	"srccache/internal/netblock"
@@ -196,6 +197,69 @@ func TestServeFleetMode(t *testing.T) {
 		if !strings.Contains(outs[i].String(), "fleet node") {
 			t.Fatalf("daemon %d output:\n%s", i, outs[i].String())
 		}
+	}
+}
+
+// TestFleetModeDrainsBeforeExit is the planned-restart regression test: a
+// SIGTERM'd fleet daemon must deregister — keep serving for the drain
+// window while pings advertise the drain flag — before its listener
+// closes, so a supervisor classifies the restart as a departure instead of
+// a fail-stop.
+func TestFleetModeDrainsBeforeExit(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	var out bytes.Buffer
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	ready := make(chan net.Addr, 1)
+	go func() {
+		done <- run([]string{"-addr", addr, "-size", "1048576",
+			"-node", "a", "-ring", "a=" + addr, "-replicas", "1",
+			"-range-bytes", "65536", "-drain", "400ms"}, &out, stop, ready)
+	}()
+	<-ready
+
+	cli, err := netblock.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	info, err := cli.Ping()
+	if err != nil || info.Draining {
+		t.Fatalf("pre-shutdown ping %+v, %v", info, err)
+	}
+
+	close(stop)
+	// During the drain window the daemon must still answer, now with the
+	// drain flag up — the deregistration a supervisor watches for.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		info, err = cli.Ping()
+		if err != nil {
+			t.Fatalf("ping during drain window failed before flag observed: %v", err)
+		}
+		if info.Draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("drain flag never advertised")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Data service stays up through the same window.
+	if _, err := cli.WriteAt([]byte("drain"), 0); err != nil {
+		t.Fatalf("write during drain window: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "draining (fleet deregister)") {
+		t.Fatalf("output:\n%s", out.String())
 	}
 }
 

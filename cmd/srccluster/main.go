@@ -11,6 +11,13 @@
 //	srccluster -seeds 500      # wider sweep
 //	srccluster -seed 11 -v     # one seed, full counter detail
 //	srccluster -json           # violations as NDJSON (CI annotations)
+//	srccluster -supervised     # lifecycle via the crashable supervisor actor
+//
+// With -supervised the rebalance lifecycle runs through the journaling
+// supervisor actor instead of the harness, and each seed class composes
+// one control-plane fault on top of the data-plane chaos: supervisor
+// death mid-commit, node crash during repair during rebalance, or a
+// fail-slow head during a join.
 //
 // The default report is one summary line per seed plus aggregate latency
 // digests; exit status is 1 if any invariant was violated.
@@ -55,6 +62,7 @@ func run(args []string, stdout io.Writer) (int, error) {
 		replicas = fs.Int("replicas", 0, "replication factor (default 3)")
 		asJSON   = fs.Bool("json", false, "emit violations as NDJSON instead of the report")
 		verbose  = fs.Bool("v", false, "full per-seed counters")
+		suprv    = fs.Bool("supervised", false, "drive the lifecycle through the crashable supervisor actor")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2, err
@@ -74,6 +82,7 @@ func run(args []string, stdout io.Writer) (int, error) {
 	for _, s := range list {
 		res, err := cluster.Sim(cluster.SimConfig{
 			Seed: s, Ops: *ops, Nodes: *nodes, Replicas: *replicas,
+			Supervised: *suprv,
 		})
 		if err != nil {
 			return 2, err
@@ -96,11 +105,16 @@ func run(args []string, stdout io.Writer) (int, error) {
 		case *verbose:
 			fmt.Fprintf(stdout, "seed %3d: %+v\n", s, res)
 		default:
-			fmt.Fprintf(stdout,
-				"seed %3d: ops %4d kills %d wipes %d cuts %d joins %d leaves %d commits %d aborts %d repaired %3d  read p99 %-10v write p99 %-10v %s\n",
+			line := fmt.Sprintf(
+				"seed %3d: ops %4d kills %d wipes %d cuts %d joins %d leaves %d commits %d aborts %d repaired %3d",
 				s, res.Ops, res.Kills, res.Wipes, res.Partitions, res.Joins, res.Leaves,
-				res.Commits, res.Aborts, res.RangesRepaired, res.ReadLat.P99, res.WriteLat.P99,
-				status(v))
+				res.Commits, res.Aborts, res.RangesRepaired)
+			if *suprv {
+				line += fmt.Sprintf(" supkills %d midcommit %d resumes %d",
+					res.SupKills, res.MidCommitCrashes, res.SupResumes)
+			}
+			fmt.Fprintf(stdout, "%s  read p99 %-10v write p99 %-10v %s\n",
+				line, res.ReadLat.P99, res.WriteLat.P99, status(v))
 		}
 	}
 	if !*asJSON {

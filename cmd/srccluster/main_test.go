@@ -60,3 +60,21 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatalf("bad flag: code %d err %v", code, err)
 	}
 }
+
+func TestRunSupervisedReport(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-seeds", "3", "-ops", "300", "-supervised"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("exit %d with output:\n%s", code, out.String())
+	}
+	report := out.String()
+	if !strings.Contains(report, "supkills") || !strings.Contains(report, "midcommit") {
+		t.Fatalf("supervised columns missing:\n%s", report)
+	}
+	if !strings.Contains(report, "0 violated") {
+		t.Fatalf("supervised sweep violated invariants:\n%s", report)
+	}
+}

@@ -342,6 +342,7 @@ var SimPackages = []string{
 var ClusterPackages = []string{
 	"internal/cluster",
 	"internal/cluster/fleet",
+	"internal/cluster/supervisor",
 }
 
 // RandPackages extends SimPackages with the packages that generate

@@ -170,6 +170,16 @@ func TestStatsSelfClean(t *testing.T) { checkClean(t, "srccache/internal/stats")
 // and churn harness must be vtime-pure (no wall clock, no global rand).
 func TestClusterSelfClean(t *testing.T) { checkClean(t, "srccache/internal/cluster") }
 
+// TestSupervisorSelfClean holds the autonomous control plane to the
+// routing-protocol and retry contracts it joined ClusterPackages under:
+// its repair retry loops must consult their attempt budget on every back
+// edge (boundedretry), and every call that can surface a stale-epoch
+// error must reach a handler (staleepoch). The wallclock daemon is
+// deliberately NOT in SimPackages — it owns real timers and latencies.
+func TestSupervisorSelfClean(t *testing.T) {
+	checkClean(t, "srccache/internal/cluster/supervisor")
+}
+
 // mutatePackage replaces old with new in the named file of a package copy
 // (the original tree is untouched) and returns the all-analyzer
 // diagnostics for the mutated package.

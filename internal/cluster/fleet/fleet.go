@@ -19,9 +19,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"srccache/internal/cluster"
 	"srccache/internal/netblock"
+	"srccache/internal/vtime"
 )
 
 // repairChunk bounds one repair/stream transfer, comfortably under the
@@ -307,12 +309,15 @@ func (b *ChainBackend) Close() error {
 	return err
 }
 
-// Stats counts what the Fleet client did.
+// Stats counts what the Fleet client did. Health carries the failure
+// detector's current per-member classification (nil when no detector is
+// installed via SetDetector).
 type Stats struct {
 	Reads, Writes int64
 	Failovers     int64 // attempts that moved past a dead or erroring owner
 	Repairs       int64 // ranges streamed by RepairRange or Rebalance
 	Refetches     int64 // routing-table refetches after stale-epoch refusals
+	Health        map[string]cluster.Health
 }
 
 // Fleet is the host-side initiator over real netblock servers: it splits
@@ -328,6 +333,7 @@ type Fleet struct {
 	ring    *cluster.Ring
 	conns   map[string]*netblock.Client
 	refetch func() *cluster.Ring
+	det     *cluster.Detector
 
 	reads, writes, failovers, repairs, refetches atomic.Int64
 }
@@ -363,14 +369,56 @@ func (f *Fleet) SetRing(ring *cluster.Ring) error {
 	return nil
 }
 
-// Stats returns the client's counters.
+// Stats returns the client's counters, including per-member health when a
+// detector is installed.
 func (f *Fleet) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Reads:     f.reads.Load(),
 		Writes:    f.writes.Load(),
 		Failovers: f.failovers.Load(),
 		Repairs:   f.repairs.Load(),
 		Refetches: f.refetches.Load(),
+	}
+	f.mu.Lock()
+	det, ring := f.det, f.ring
+	f.mu.Unlock()
+	if det != nil {
+		s.Health = make(map[string]cluster.Health)
+		for _, m := range ring.Members() {
+			s.Health[m.ID] = det.State(m.ID)
+		}
+	}
+	return s
+}
+
+// SetDetector installs a failure detector scored by this client's
+// traffic: Ping feeds round-trip latency (the fail-slow EWMA signal), and
+// the data path feeds success/failure observations (data ops carry no
+// useful latency — their duration scales with payload, not health). The
+// same detector instance may be shared with a supervisor, so every call
+// into it serializes on the fleet's lock.
+func (f *Fleet) SetDetector(d *cluster.Detector) {
+	f.mu.Lock()
+	f.det = d
+	f.mu.Unlock()
+}
+
+// observe feeds the detector one interaction, if one is installed.
+// lat <= 0 means "no useful latency signal": failures count toward the
+// fail-stop run either way, successes reset it without touching the EWMA.
+func (f *Fleet) observe(id string, lat time.Duration, failed bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.det == nil {
+		return
+	}
+	switch {
+	case failed:
+		f.det.Observe(id, vtime.FromStd(lat), true)
+	case lat > 0:
+		f.det.Observe(id, vtime.FromStd(lat), false)
+	default:
+		f.det.ObserveOK(id)
 	}
 }
 
@@ -556,6 +604,7 @@ func (f *Fleet) tryOwners(rng int, op func(c *netblock.Client) error) error {
 			if err != nil {
 				last = err
 				f.failovers.Add(1)
+				f.observe(id, 0, true)
 				continue
 			}
 			if err := op(c); err != nil {
@@ -563,6 +612,8 @@ func (f *Fleet) tryOwners(rng int, op func(c *netblock.Client) error) error {
 					// The refusal is an answer, not a dead peer: keep the
 					// connection, stop addressing this chain, and refetch —
 					// the rest of the stale chain would refuse identically.
+					// An answer also proves liveness for the detector.
+					f.observe(id, 0, false)
 					last = err
 					stale = true
 					break
@@ -570,8 +621,12 @@ func (f *Fleet) tryOwners(rng int, op func(c *netblock.Client) error) error {
 				f.drop(id, c)
 				last = err
 				f.failovers.Add(1)
+				// A remote refusal proves the member answered; only a
+				// transport failure counts toward its fail-stop run.
+				f.observe(id, 0, !errors.Is(err, netblock.ErrRemote))
 				continue
 			}
+			f.observe(id, 0, false)
 			return nil
 		}
 		if stale && f.refetchRing() {
@@ -641,30 +696,48 @@ func (f *Fleet) Rebalance(old, next *cluster.Ring) error {
 		return fmt.Errorf("fleet: rebalance changes volume size %d -> %d", old.Size(), next.Size())
 	}
 	for _, mv := range cluster.Moves(old, next) {
-		var src *netblock.Client
-		var srcID string
-		for _, o := range old.Owners(mv.Range) {
-			c, err := f.conn(old, o)
-			if err != nil {
-				continue
-			}
-			src, srcID = c, o
-			break
+		if err := f.StreamMove(old, next, mv); err != nil {
+			return err
 		}
-		if src == nil {
-			return fmt.Errorf("fleet: rebalance range %d: no source among old owners", mv.Range)
-		}
-		// The target may be a fresh member only the next ring can address.
-		tgt, err := f.conn(next, mv.Target)
-		if err != nil {
-			return fmt.Errorf("fleet: rebalance range %d to %s: %w", mv.Range, mv.Target, err)
-		}
-		base := int64(mv.Range) * old.RangeBytes
-		if err := f.stream(src, tgt, base, old.RangeBytes); err != nil {
-			return fmt.Errorf("fleet: rebalance range %d (%s -> %s): %w", mv.Range, srcID, mv.Target, err)
-		}
-		f.repairs.Add(1)
 	}
+	return nil
+}
+
+// StreamMove streams one pending move — range mv.Range from a serving old
+// owner to mv.Target, which may be a fresh member only the next ring can
+// address. It is the single step a supervisor journals around: after each
+// StreamMove the pending set shrinks by one, so a supervisor crash between
+// steps re-streams at most the move in flight (idempotent — same bytes at
+// the same offsets). Stale-epoch refusals surface for the same reason
+// Rebalance's do.
+//
+//srclint:surfaces staleepoch
+func (f *Fleet) StreamMove(old, next *cluster.Ring, mv cluster.Move) error {
+	var src *netblock.Client
+	var srcID string
+	for _, o := range old.Owners(mv.Range) {
+		if o == mv.Target {
+			continue
+		}
+		c, err := f.conn(old, o)
+		if err != nil {
+			continue
+		}
+		src, srcID = c, o
+		break
+	}
+	if src == nil {
+		return fmt.Errorf("fleet: rebalance range %d: no source among old owners", mv.Range)
+	}
+	tgt, err := f.conn(next, mv.Target)
+	if err != nil {
+		return fmt.Errorf("fleet: rebalance range %d to %s: %w", mv.Range, mv.Target, err)
+	}
+	base := int64(mv.Range) * old.RangeBytes
+	if err := f.stream(src, tgt, base, old.RangeBytes); err != nil {
+		return fmt.Errorf("fleet: rebalance range %d (%s -> %s): %w", mv.Range, srcID, mv.Target, err)
+	}
+	f.repairs.Add(1)
 	return nil
 }
 
@@ -719,18 +792,38 @@ func (f *Fleet) verify(src, tgt *netblock.Client, base, n int64) error {
 }
 
 // Ping probes one member, returning the server's health handshake (size,
-// advertised ring epoch, drain state) — the material a wallclock failure
-// detector scores.
+// advertised ring epoch, drain state). The round-trip latency feeds the
+// installed detector — pings are the fixed-size probe whose duration
+// reflects node health rather than payload size, so they are the fail-slow
+// EWMA's only input on the real path.
 func (f *Fleet) Ping(id string) (netblock.PingInfo, error) {
 	ring := f.Ring()
+	start := time.Now()
 	c, err := f.conn(ring, id)
 	if err != nil {
+		f.observe(id, time.Since(start), true)
 		return netblock.PingInfo{}, err
 	}
 	info, err := c.Ping()
+	lat := time.Since(start)
 	if err != nil {
 		f.drop(id, c)
+		f.observe(id, lat, true)
 		return netblock.PingInfo{}, err
 	}
+	f.observe(id, lat, false)
 	return info, nil
+}
+
+// PingAll sweeps a probe over every ring member, feeding the detector,
+// and returns the handshake of each member that answered — the background
+// heartbeat a supervisor (or any wallclock health loop) runs per tick.
+func (f *Fleet) PingAll() map[string]netblock.PingInfo {
+	infos := make(map[string]netblock.PingInfo)
+	for _, m := range f.Ring().Members() {
+		if info, err := f.Ping(m.ID); err == nil {
+			infos[m.ID] = info
+		}
+	}
+	return infos
 }

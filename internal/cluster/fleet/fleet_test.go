@@ -426,6 +426,56 @@ func TestFleetErrorWhenAllReplicasDead(t *testing.T) {
 // with netblock.ErrStaleEpoch, and the fleet either surfaces the contract
 // error (no refetch source) or refetches the committed ring and retries
 // against the current owners (SetRefetch installed).
+// TestFleetDetectorHealth checks the wallclock detector path: Ping
+// latency samples feed the EWMA, transport failures accumulate toward
+// Down, and Stats exports the per-member classification.
+func TestFleetDetectorHealth(t *testing.T) {
+	nodes, ring, fl := startFleet(t, []string{"a", "b", "c"}, 2)
+	det := cluster.NewDetector(cluster.DetectorConfig{FailAfter: 2})
+	fl.SetDetector(det)
+	fill(t, fl, ring, 5)
+
+	infos := fl.PingAll()
+	if len(infos) != 3 {
+		t.Fatalf("PingAll answered %d of 3", len(infos))
+	}
+	st := fl.Stats()
+	if st.Health == nil {
+		t.Fatal("Stats.Health nil with detector installed")
+	}
+	for id, h := range st.Health {
+		if h != cluster.Healthy {
+			t.Fatalf("member %s classified %v before any failure", id, h)
+		}
+	}
+	if det.EWMA("a") <= 0 {
+		t.Fatal("ping latency did not feed the EWMA")
+	}
+
+	// Kill one node: consecutive ping failures must classify it Down.
+	nodes["b"].srv.Close()
+	nodes["b"].chain.Close()
+	for i := 0; i < 2; i++ {
+		fl.PingAll()
+	}
+	if got := fl.Stats().Health["b"]; got != cluster.Down {
+		t.Fatalf("killed member classified %v, want down", got)
+	}
+	if got := fl.Stats().Health["a"]; got != cluster.Healthy {
+		t.Fatalf("surviving member classified %v, want healthy", got)
+	}
+
+	// Data-path successes reset the run: a read served by the survivors
+	// must not disturb their health, and the dead member's reads fail over.
+	p := make([]byte, 512)
+	if err := fl.ReadAt(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := fl.Stats().Health["a"]; got != cluster.Healthy {
+		t.Fatalf("member a classified %v after served read", got)
+	}
+}
+
 func TestFleetStaleEpochRefetch(t *testing.T) {
 	nodes, ring1, fl := startFleet(t, []string{"a", "b"}, 1)
 	model := fill(t, fl, ring1, 77)

@@ -24,6 +24,10 @@ type SimConfig struct {
 	ChurnEvery int   // chaos tick every this many ops (default 20)
 	Link       netlink.Config
 	Detector   DetectorConfig
+	// Supervised hands the rebalance lifecycle to a supervisor actor that
+	// journals every transition and can itself crash and recover — see
+	// simsup.go for the composed-failure matrix it runs.
+	Supervised bool
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -85,6 +89,14 @@ type Result struct {
 	StepFailures, GuardSkips     int
 	RepairRounds, RangesRepaired int
 
+	// Supervised-mode coverage: supervisor lifecycle faults and the
+	// composed scenarios the seed class forced.
+	SupKills, SupRestarts        int
+	SupResumes, SupRecoverPushes int
+	MidCommitCrashes             int
+	RepairRebalanceCrashes       int
+	SlowJoinHeads                int
+
 	DownDetected, SlowDetected bool
 
 	Client   ClientStats
@@ -126,6 +138,8 @@ type sim struct {
 	acked     map[int]bool // ranges with at least one acknowledged write
 	ackedList []int        // same, in append order for seeded picking
 
+	sup *simSup // non-nil when cfg.Supervised
+
 	spares    []string // adopted nodes outside the ring
 	downed    []string // killed nodes awaiting restart
 	slowed    []string // nodes with degraded links
@@ -152,6 +166,9 @@ func Sim(cfg SimConfig) (Result, error) {
 	s.res.Seed = cfg.Seed
 	if err := s.setup(); err != nil {
 		return s.res, err
+	}
+	if cfg.Supervised {
+		s.sup = newSimSup(s)
 	}
 	s.model = make([]byte, s.ctrl.Table().Cur.Size())
 
@@ -301,7 +318,14 @@ func (s *sim) pickExtent(write bool) (off, n int64) {
 // client-reachable, non-quarantined current owner holding its data, with
 // the hypothetical exclusions applied (nodes about to die or be cut off).
 func (s *sim) cleanOwner(rng int, excluded map[string]bool) bool {
-	for _, id := range s.ctrl.Table().Cur.Owners(rng) {
+	return s.cleanOwnerIn(s.ctrl.Table().Cur, rng, excluded)
+}
+
+// cleanOwnerIn is cleanOwner against an explicit placement — the guard
+// also protects a journaled-but-unpushed table, whose owners are about to
+// become authoritative.
+func (s *sim) cleanOwnerIn(ring *Ring, rng int, excluded map[string]bool) bool {
+	for _, id := range ring.Owners(rng) {
 		if excluded[id] {
 			continue
 		}
@@ -322,11 +346,58 @@ func (s *sim) cleanOwner(rng int, excluded map[string]bool) bool {
 	return false
 }
 
-// safeWithout is the schedule guard: would every acknowledged range still
-// have a clean current owner if these nodes vanished?
+// writeHeadIn reports whether range rng keeps at least one alive,
+// client-reachable owner under the given placement with the hypothetical
+// exclusions applied — the minimum for a chain write to find a head.
+// Quarantined copies count: the write path falls back to them rather than
+// fail, and anti-entropy heals them afterwards.
+func (s *sim) writeHeadIn(ring *Ring, rng int, excluded map[string]bool) bool {
+	for _, id := range ring.Owners(rng) {
+		if excluded[id] {
+			continue
+		}
+		nd := s.net.nodes[id]
+		if nd == nil || !nd.alive || !s.net.Reachable("client", id) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// safeWithout is the schedule guard: if these nodes vanished, would every
+// acknowledged range still have a clean current owner to read from, and
+// would EVERY range — written or not — still have a reachable write head
+// under each placement that is or is about to be authoritative? Writes
+// roam the whole volume, so a never-written range whose owners are all
+// dead fails a write with no healthy replica in sight; worse, a
+// boundary-crossing write can land its first half before the headless
+// half fails, tearing the op. The guard forbids reaching that state at
+// all. While a commit has been journaled but not pushed (the supervisor
+// died in between), the decided placement is already law — recovery will
+// install it — so its owners are guarded the same way.
 func (s *sim) safeWithout(excluded map[string]bool) bool {
+	table := s.ctrl.Table()
+	var decided *Table
+	if s.sup != nil {
+		decided = s.sup.decided
+	}
+	for rng := 0; rng < s.cfg.Ranges; rng++ {
+		if !s.writeHeadIn(table.Cur, rng, excluded) {
+			return false
+		}
+		if table.Next != nil && !s.writeHeadIn(table.Next, rng, excluded) {
+			return false
+		}
+		if decided != nil && !s.writeHeadIn(decided.Cur, rng, excluded) {
+			return false
+		}
+	}
 	for _, rng := range s.ackedList {
 		if !s.cleanOwner(rng, excluded) {
+			return false
+		}
+		if decided != nil && !s.cleanOwnerIn(decided.Cur, rng, excluded) {
 			return false
 		}
 	}
@@ -353,8 +424,15 @@ func (s *sim) churnTick() {
 	if len(slow) > 0 {
 		s.res.SlowDetected = true
 	}
-	s.advanceRebalance()
+	if s.sup != nil {
+		s.sup.tick()
+	} else {
+		s.advanceRebalance()
+	}
 	s.chaosAction()
+	if s.sup != nil {
+		s.sup.chaos()
+	}
 	s.net.Advance(vtime.Millisecond)
 }
 
@@ -579,6 +657,9 @@ func (s *sim) actHealPartition() {
 // quarantines every move target until its range streams — a new owner
 // that has not been streamed yet holds at best a partial copy.
 func (s *sim) actMembership() {
+	if s.sup != nil && !s.sup.alive {
+		return // membership is the supervisor's call; nobody is home
+	}
 	if s.ctrl.Rebalancing() {
 		return
 	}
@@ -614,9 +695,15 @@ func (s *sim) actMembership() {
 			s.client.MarkDegraded(mv.Target, mv.Range)
 		}
 	}
+	if s.sup != nil {
+		s.sup.snapshot() // the transition is journaled before any move streams
+	}
 }
 
 func (s *sim) actRepair() {
+	if s.sup != nil && !s.sup.alive {
+		return // repair scheduling is supervisor-driven in supervised runs
+	}
 	healed, err := s.client.Repair()
 	if err != nil {
 		s.res.VerifyErrors++
@@ -640,6 +727,14 @@ func (s *sim) aliveMembers() []string {
 // dead, finish or abort the transition, and repair until the quarantine
 // set is empty.
 func (s *sim) drain() error {
+	if s.sup != nil {
+		// The run may end with the control plane dead, mid-anything. Its
+		// successor recovers from the journal first — finishing a decided
+		// push — and the standard wind-down below takes it from there,
+		// with the failpoint disarmed so the wind-down terminates.
+		s.sup.restart()
+		s.sup.crashAtCommit = false
+	}
 	s.net.HealAll()
 	s.cuts = nil
 	for _, id := range s.slowed {
@@ -655,11 +750,15 @@ func (s *sim) drain() error {
 	s.downed = nil
 	for tries := 0; s.ctrl.Rebalancing(); tries++ {
 		if tries > 8*s.cfg.Ranges {
-			if err := s.ctrl.Abort(); err != nil {
-				return err
+			if s.sup != nil {
+				s.sup.abort()
+			} else {
+				if err := s.ctrl.Abort(); err != nil {
+					return err
+				}
+				s.res.Aborts++
+				s.finishTransition(true)
 			}
-			s.res.Aborts++
-			s.finishTransition(true)
 			break
 		}
 		if len(s.ctrl.PendingMoves()) > 0 {
@@ -679,11 +778,15 @@ func (s *sim) drain() error {
 			s.res.RangesRepaired += healed
 			continue
 		}
-		if err := s.ctrl.Commit(); err != nil {
-			return err
+		if s.sup != nil {
+			s.sup.commit()
+		} else {
+			if err := s.ctrl.Commit(); err != nil {
+				return err
+			}
+			s.res.Commits++
+			s.finishTransition(false)
 		}
-		s.res.Commits++
-		s.finishTransition(false)
 	}
 	for tries := 0; s.client.DegradedCount() > 0; tries++ {
 		if tries > s.cfg.Ranges*(s.cfg.Nodes+s.cfg.Spares) {

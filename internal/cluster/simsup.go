@@ -1,0 +1,291 @@
+package cluster
+
+// Supervised simulation: the same deterministic churn schedule, but the
+// rebalance lifecycle is driven by a supervisor actor that can itself die
+// and restart — including at the worst spot, between journaling a commit
+// and pushing it. The actor keeps its durable state as an encoded
+// SupJournal in memory (the sim's stand-in for the wallclock supervisor's
+// journal file), so a restart recovers exactly what a process restart
+// would: resume a transition, or finish an interrupted push.
+//
+// The composed-failure matrix rides on the seed class (Seed % 3):
+//
+//	0  supervisor death mid-commit — every commit decision crashes the
+//	   supervisor after the journal write, before the push.
+//	1  node crash during repair during rebalance — while moves are in
+//	   flight and copies are quarantined, members keep fail-stopping.
+//	2  fail-slow head during join — range heads degrade while a joiner
+//	   is being pulled in.
+//
+// Background supervisor kills and restarts run in every class on top of
+// the forced scenario. All chaos remains guarded, so zero failed ops and
+// zero lost writes stay absolute invariants even while the control plane
+// is dead.
+
+// simSup is the simulated supervisor actor.
+type simSup struct {
+	s     *sim
+	alive bool
+
+	// journal is the actor's only durable state across its own crashes.
+	journal []byte
+
+	// decided is a commit/abort that has been journaled but not pushed —
+	// the table recovery must install, never re-decide. While non-nil the
+	// chaos guard protects the decided placement's owners like Cur's.
+	decided        *Table
+	decidedAborted bool
+
+	// crashAtCommit arms the mid-commit failpoint: the next commit
+	// decision journals, then dies before pushing.
+	crashAtCommit bool
+}
+
+func newSimSup(s *sim) *simSup {
+	p := &simSup{s: s, alive: true}
+	p.snapshot()
+	return p
+}
+
+// snapshot journals the control plane's current state.
+func (p *simSup) snapshot() {
+	phase := SupStable
+	if p.s.ctrl.Rebalancing() {
+		phase = SupTransition
+	}
+	p.journalRecord(SnapshotSupJournal(p.s.ctrl.table, p.s.ctrl.pending, phase))
+}
+
+func (p *simSup) journalRecord(j SupJournal) {
+	data, err := j.Encode()
+	if err != nil {
+		// Unencodable state is a harness bug, not a schedule outcome.
+		panic("cluster: sim supervisor journal: " + err.Error())
+	}
+	p.journal = data
+}
+
+// tick is the supervisor's periodic round: finish a recovered push, then
+// push the in-flight transition forward — the supervised twin of the
+// harness-driven advanceRebalance.
+func (p *simSup) tick() {
+	if !p.alive {
+		return
+	}
+	if p.decided != nil {
+		p.finishPush()
+		return
+	}
+	s := p.s
+	if !s.ctrl.Rebalancing() {
+		return
+	}
+	for i := 0; i < 2 && len(s.ctrl.pending) > 0; i++ {
+		if err := s.ctrl.RebalanceStep(); err != nil {
+			s.stepFails++
+			s.res.StepFailures++
+		}
+		// Journal after the step: re-streaming an already-streamed move is
+		// idempotent, so a crash between stream and journal only costs a
+		// repeat, never correctness.
+		p.snapshot()
+	}
+	if len(s.ctrl.pending) == 0 {
+		if s.commitSafe() {
+			p.commit()
+			return
+		}
+		s.stepFails++
+		s.actRepair()
+	}
+	if s.stepFails > 16 {
+		p.abort()
+	}
+}
+
+// commit decides the new placement, journals the decision, and pushes —
+// unless the armed failpoint kills the supervisor in between.
+func (p *simSup) commit() {
+	s := p.s
+	decided := &Table{Epoch: s.ctrl.table.Epoch + 1, Cur: s.ctrl.table.Next}
+	moved := Moves(s.ctrl.table.Cur, s.ctrl.table.Next)
+	p.journalRecord(SnapshotSupJournal(decided, moved, SupPush))
+	p.decided, p.decidedAborted = decided, false
+	if p.crashAtCommit {
+		// Dead between journal and push: nodes stay on the transition
+		// epoch (union writes, reads on Cur) until a successor recovers
+		// the journal and finishes the push.
+		p.crashAtCommit = false
+		p.alive = false
+		s.res.SupKills++
+		s.res.MidCommitCrashes++
+		return
+	}
+	p.finishPush()
+}
+
+// abort decides a return to the old placement at a fresh epoch, with the
+// same journal-then-push discipline.
+func (p *simSup) abort() {
+	s := p.s
+	decided := &Table{Epoch: s.ctrl.table.Epoch + 1, Cur: s.ctrl.table.Cur}
+	p.journalRecord(SnapshotSupJournal(decided, nil, SupPush))
+	p.decided, p.decidedAborted = decided, true
+	p.finishPush()
+}
+
+// finishPush installs a decided table on the control plane and nodes, and
+// journals the stable state. Idempotent: recovery calls it for a decision
+// made by a dead predecessor.
+func (p *simSup) finishPush() {
+	s := p.s
+	aborted := p.decidedAborted
+	s.ctrl.table = p.decided
+	s.ctrl.pending = nil
+	s.ctrl.push()
+	p.journalRecord(SnapshotSupJournal(s.ctrl.table, nil, SupStable))
+	p.decided = nil
+	if aborted {
+		s.res.Aborts++
+	} else {
+		s.res.Commits++
+	}
+	s.finishTransition(aborted)
+}
+
+// kill fail-stops the supervisor. Its in-memory state dies with it; only
+// the journal survives.
+func (p *simSup) kill() {
+	if !p.alive {
+		return
+	}
+	p.alive = false
+	p.decided = nil // lost with the process; recovered from the journal
+	p.crashAtCommit = false
+	p.s.res.SupKills++
+}
+
+// restart recovers a supervisor from the journal, exactly as the wallclock
+// daemon does from its file: stable re-adopts, transition resumes, push
+// finishes the interrupted install.
+func (p *simSup) restart() {
+	if p.alive {
+		return
+	}
+	s := p.s
+	j, err := DecodeSupJournal(p.journal)
+	if err != nil {
+		panic("cluster: sim supervisor recovery: " + err.Error())
+	}
+	table, _, err := j.Table()
+	if err != nil {
+		panic("cluster: sim supervisor recovery: " + err.Error())
+	}
+	p.alive = true
+	s.res.SupRestarts++
+	switch j.Phase {
+	case SupStable, SupTransition:
+		// The control plane's in-memory table was journaled before it took
+		// effect, so it already matches; nothing to rebuild, just resume.
+		if j.Phase == SupTransition {
+			s.res.SupResumes++
+		}
+	case SupPush:
+		// A decided commit/abort whose push never ran. Whether it was a
+		// commit is recoverable from shape: a commit's table is the
+		// transition's Next membership, an abort's is its Cur.
+		p.decided = table
+		p.decidedAborted = s.ctrl.table.Next == nil || !sameMembers(table.Cur, s.ctrl.table.Next)
+		s.res.SupRecoverPushes++
+		p.finishPush()
+	}
+}
+
+// chaos runs the supervisor-layer fault injection for this tick: the
+// seed-class composed scenario plus background supervisor kills and
+// restarts.
+func (p *simSup) chaos() {
+	s := p.s
+	if !p.alive {
+		// A dead control plane usually comes back; sometimes it stays down
+		// a while longer, leaving the data plane to ride on its own.
+		if s.rng.Intn(3) != 0 {
+			p.restart()
+		}
+		return
+	}
+	switch s.cfg.Seed % 3 {
+	case 0: // supervisor death mid-commit
+		if s.ctrl.Rebalancing() {
+			p.crashAtCommit = true
+		}
+	case 1: // node crash during repair during rebalance
+		if s.ctrl.Rebalancing() && s.client.DegradedCount() > 0 {
+			s.composedKill()
+		}
+	case 2: // fail-slow head during join
+		if s.joining != "" {
+			s.composedSlowHead()
+		}
+	}
+	if s.rng.Intn(12) == 0 {
+		p.kill()
+	}
+}
+
+// composedKill fail-stops a member specifically while a rebalance and a
+// repair are both in flight — the guarded triple-fault of scenario 1.
+func (s *sim) composedKill() {
+	alive := s.aliveMembers()
+	if len(alive) == 0 {
+		return
+	}
+	victim := alive[s.rng.Intn(len(alive))]
+	if !s.safeWithout(map[string]bool{victim: true}) {
+		s.res.GuardSkips++
+		return
+	}
+	s.net.nodes[victim].Kill()
+	s.downed = append(s.downed, victim)
+	s.res.Kills++
+	s.res.RepairRebalanceCrashes++
+}
+
+// composedSlowHead degrades the link of an acknowledged range's head owner
+// while a join is pulling data through it — scenario 2's fail-slow.
+func (s *sim) composedSlowHead() {
+	if len(s.ackedList) == 0 {
+		return
+	}
+	rng := s.ackedList[s.rng.Intn(len(s.ackedList))]
+	owners := s.ctrl.Table().Cur.Owners(rng)
+	if len(owners) == 0 {
+		return
+	}
+	head := owners[0]
+	if nd := s.net.nodes[head]; nd == nil || !nd.alive {
+		return
+	}
+	s.net.Link(head).Degrade(float64(10 + s.rng.Intn(20)))
+	s.slowed = append(s.slowed, head)
+	s.res.Degrades++
+	s.res.SlowJoinHeads++
+}
+
+// sameMembers reports whether two rings share a member ID set.
+func sameMembers(a, b *Ring) bool {
+	am, bm := a.Members(), b.Members()
+	if len(am) != len(bm) {
+		return false
+	}
+	set := make(map[string]bool, len(am))
+	for _, m := range am {
+		set[m.ID] = true
+	}
+	for _, m := range bm {
+		if !set[m.ID] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,719 @@
+package supervisor
+
+// The supervisor tests run the full control loop against live netblock
+// servers on loopback TCP: real dials, real pings, real repair streams.
+// Tests drive Tick directly instead of Start's timer so every schedule is
+// deterministic; nothing here sleeps to "let the supervisor notice".
+//
+// The headline property, asserted end to end in the lifecycle test: after
+// a node fail-stops, the supervisor alone — no client-side orchestration —
+// detects it, quarantines its copies, repairs them hash-verified once the
+// node returns, and later rebalances a join through the three-epoch
+// protocol, with every acked write still readable at the end.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"srccache/internal/cluster"
+	"srccache/internal/cluster/fleet"
+	"srccache/internal/netblock"
+)
+
+const (
+	tRanges     = 8
+	tRangeBytes = int64(4096)
+)
+
+// Short timeouts keep detection fast on loopback without flaking: a dead
+// listener refuses instantly, it never actually waits out DialTimeout.
+func dialOpts() netblock.ClientOptions {
+	return netblock.ClientOptions{DialTimeout: 500 * time.Millisecond, Timeout: time.Second}
+}
+
+// supNode is one live fleet member plus the in-process management push the
+// supervisor installs placements through. The data/ping plane is TCP; only
+// Push is in-process, standing in for the config channel a deployment
+// would use.
+type supNode struct {
+	id   string
+	addr string
+
+	mu    sync.Mutex
+	back  netblock.Backend
+	chain *fleet.ChainBackend
+	srv   *netblock.Server
+	alive bool
+}
+
+func (n *supNode) push(ring *cluster.Ring, epoch uint64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return fmt.Errorf("node %s: down", n.id)
+	}
+	if n.srv.Draining() {
+		return fmt.Errorf("node %s: draining", n.id)
+	}
+	if err := n.chain.SetRing(ring); err != nil {
+		return err
+	}
+	n.srv.SetEpoch(epoch)
+	return nil
+}
+
+func (n *supNode) node() Node {
+	return Node{Member: cluster.Member{ID: n.id, Addr: n.addr}, Push: n.push}
+}
+
+// kill fail-stops the node: listener gone, no drain, no goodbye.
+func (n *supNode) kill(t *testing.T) {
+	t.Helper()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	if err := n.srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n.chain.Close()
+}
+
+// restart brings the node back on its old address; wipe loses its data
+// (fresh disk), otherwise it returns with the possibly stale copy it held
+// at the kill. The ring is the node's boot config — its epoch starts at 0
+// and only a supervisor push advances it.
+func (n *supNode) restart(t *testing.T, ring *cluster.Ring, wipe bool) {
+	t.Helper()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.alive {
+		t.Fatalf("node %s restarted while alive", n.id)
+	}
+	if wipe {
+		back, err := netblock.MemBackend(ring.Size())
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.back = back
+	}
+	chain, err := fleet.NewChainBackend(n.back, n.id, ring, dialOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netblock.NewServerWith(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen(n.addr); err != nil {
+		t.Fatalf("rebind %s: %v", n.addr, err)
+	}
+	n.chain, n.srv, n.alive = chain, srv, true
+	t.Cleanup(func() {
+		srv.Close()
+		chain.Close()
+	})
+}
+
+func mkRing(t *testing.T, replicas int, members []cluster.Member) *cluster.Ring {
+	t.Helper()
+	r, err := cluster.NewRing(replicas, tRanges, tRangeBytes, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func startNode(t *testing.T, id string, ring *cluster.Ring) *supNode {
+	t.Helper()
+	back, err := netblock.MemBackend(ring.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := fleet.NewChainBackend(back, id, ring, dialOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netblock.NewServerWith(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &supNode{id: id, addr: addr.String(), back: back, chain: chain, srv: srv, alive: true}
+	t.Cleanup(func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if n.alive {
+			n.srv.Close()
+			n.chain.Close()
+		}
+	})
+	return n
+}
+
+// startCluster boots members as live servers (spares too), installs the
+// bound-address ring, and builds a supervisor over all of them with a
+// journal in dir. ringIDs names the initial placement; the rest register
+// as spares.
+func startCluster(t *testing.T, ringIDs, spareIDs []string, replicas int, cfg Config) (map[string]*supNode, *Supervisor) {
+	t.Helper()
+	var boot []cluster.Member
+	for _, id := range append(append([]string{}, ringIDs...), spareIDs...) {
+		boot = append(boot, cluster.Member{ID: id})
+	}
+	bootRing := mkRing(t, replicas, boot)
+	nodes := make(map[string]*supNode)
+	var members []cluster.Member
+	for _, id := range ringIDs {
+		n := startNode(t, id, bootRing)
+		nodes[id] = n
+		members = append(members, cluster.Member{ID: id, Addr: n.addr})
+	}
+	ring := mkRing(t, replicas, members)
+	for _, id := range ringIDs {
+		if err := nodes[id].chain.SetRing(ring); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range spareIDs {
+		n := startNode(t, id, ring) // spares boot with the live ring config
+		nodes[id] = n
+	}
+
+	cfg.Ring = ring
+	if cfg.JournalPath == "" {
+		cfg.JournalPath = filepath.Join(t.TempDir(), "supervisor.journal")
+	}
+	if cfg.Client.DialTimeout == 0 {
+		cfg.Client = dialOpts()
+	}
+	if cfg.Detector.FailAfter == 0 {
+		cfg.Detector.FailAfter = 2
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = func(time.Duration) {} // no real backoff sleeps in tests
+	}
+	for _, id := range append(append([]string{}, ringIDs...), spareIDs...) {
+		cfg.Nodes = append(cfg.Nodes, nodes[id].node())
+	}
+	sup, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sup.Close() })
+	return nodes, sup
+}
+
+// dataFleet is the client-side data path: a fleet whose routing refetches
+// from the supervisor's committed table, as a deployment's initiators
+// would.
+func dataFleet(t *testing.T, sup *Supervisor) *fleet.Fleet {
+	t.Helper()
+	fl, err := fleet.New(sup.Ring(), dialOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.SetRefetch(sup.Ring)
+	t.Cleanup(func() { fl.Close() })
+	return fl
+}
+
+func fill(t *testing.T, fl *fleet.Fleet, seed int64) []byte {
+	t.Helper()
+	model := make([]byte, fl.Ring().Size())
+	rand.New(rand.NewSource(seed)).Read(model)
+	if err := fl.WriteAt(model, 0); err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func rangeSlice(model []byte, rng int) []byte {
+	return model[int64(rng)*tRangeBytes : (int64(rng)+1)*tRangeBytes]
+}
+
+func backendRange(t *testing.T, n *supNode, rng int) []byte {
+	t.Helper()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	buf := make([]byte, tRangeBytes)
+	if err := n.back.ReadAt(buf, int64(rng)*tRangeBytes); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// tickUntil drives the supervisor until cond holds, bounding the schedule
+// so a wedged state fails fast with the last status in the message.
+func tickUntil(t *testing.T, sup *Supervisor, max int, what string, cond func(Status) bool) Status {
+	t.Helper()
+	var st Status
+	for i := 0; i < max; i++ {
+		var err error
+		st, err = sup.Tick()
+		if err != nil {
+			t.Fatalf("tick %d (%s): %v", i, what, err)
+		}
+		if cond(st) {
+			return st
+		}
+	}
+	t.Fatalf("%s not reached in %d ticks; last status %+v", what, max, st)
+	return st
+}
+
+func contains(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSupervisorAutonomousLifecycle is the acceptance test: kill → detect
+// → quarantine → repair → join → commit, all supervisor-driven. The test
+// never calls SetRing/SetEpoch on a node; only node boot config and the
+// supervisor touch routing.
+func TestSupervisorAutonomousLifecycle(t *testing.T) {
+	nodes, sup := startCluster(t, []string{"a", "b", "c"}, []string{"d"}, 2, Config{})
+	fl := dataFleet(t, sup)
+	model := fill(t, fl, 42)
+
+	// Steady state: everyone healthy, nothing quarantined.
+	st := tickUntil(t, sup, 3, "steady state", func(st Status) bool {
+		return len(st.Down) == 0 && len(st.Quarantined) == 0
+	})
+	if st.Epoch != 1 || st.Phase != cluster.SupStable {
+		t.Fatalf("steady state %+v", st)
+	}
+
+	// Fail-stop b. The supervisor must classify it Down off its own pings
+	// (FailAfter=2) and quarantine every range b serves.
+	nodes["b"].kill(t)
+	st = tickUntil(t, sup, 6, "detection", func(st Status) bool {
+		return contains(st.Down, "b")
+	})
+	if len(st.Quarantined) == 0 {
+		t.Fatal("down node quarantined nothing")
+	}
+	for _, k := range st.Quarantined {
+		if k.Node != "b" || !sup.Ring().OwnedBy(k.Range, "b") {
+			t.Fatalf("bogus quarantine %+v", k)
+		}
+	}
+	if st.Detections == 0 || st.DetectLatency <= 0 {
+		t.Fatalf("detection metrics %+v", st)
+	}
+	quarCount := len(st.Quarantined)
+
+	// The data plane rides through on the surviving replicas.
+	got := make([]byte, int64(tRanges)*tRangeBytes)
+	if err := fl.ReadAt(got, 0); err != nil {
+		t.Fatalf("read with b down: %v", err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("read with b down diverges from model")
+	}
+
+	// b returns with a wiped disk. The supervisor must stream every
+	// quarantined range back from the surviving replica, hash-verified,
+	// before b's copies count again.
+	nodes["b"].restart(t, sup.Ring(), true)
+	st = tickUntil(t, sup, 12, "repair", func(st Status) bool {
+		return len(st.Quarantined) == 0 && !contains(st.Down, "b")
+	})
+	if st.Repairs < quarCount {
+		t.Fatalf("repairs %d < quarantined %d", st.Repairs, quarCount)
+	}
+	if st.RepairLatency <= 0 {
+		t.Fatalf("MTTR not measured: %+v", st)
+	}
+	for rng := 0; rng < tRanges; rng++ {
+		if sup.Ring().OwnedBy(rng, "b") {
+			if !bytes.Equal(backendRange(t, nodes["b"], rng), rangeSlice(model, rng)) {
+				t.Fatalf("range %d not healed on b", rng)
+			}
+		}
+	}
+
+	// Join the spare. The supervisor streams the moves, commits two epochs
+	// up, pushes the new table, and catch-up-verifies every moved copy.
+	if err := sup.BeginJoin(cluster.Member{ID: "d", Addr: nodes["d"].addr}); err != nil {
+		t.Fatal(err)
+	}
+	moves := cluster.Moves(sup.Ring(), mustJoin(t, sup.Ring(), cluster.Member{ID: "d", Addr: nodes["d"].addr}))
+	if len(moves) == 0 {
+		t.Fatal("join moved nothing; layout makes this pass vacuous")
+	}
+	st = tickUntil(t, sup, 20, "join commit", func(st Status) bool {
+		return st.Phase == cluster.SupStable && st.Epoch == 3 && len(st.Quarantined) == 0
+	})
+	if st.Commits != 1 {
+		t.Fatalf("commits %d", st.Commits)
+	}
+	for _, mv := range moves {
+		if !bytes.Equal(backendRange(t, nodes[mv.Target], mv.Range), rangeSlice(model, mv.Range)) {
+			t.Fatalf("range %d not on new owner %s after commit", mv.Range, mv.Target)
+		}
+	}
+
+	// The committed epoch reached the nodes through the ping/SetEpoch
+	// channel — including the joiner.
+	cli, err := netblock.Dial(nodes["d"].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	info, err := cli.Ping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 3 {
+		t.Fatalf("joiner advertises epoch %d, want 3", info.Epoch)
+	}
+
+	// Every byte acked before the failure is still readable on the new
+	// placement (client refetches routing from the supervisor).
+	if err := fl.SetRing(sup.Ring()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fl.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("post-lifecycle read diverges from model")
+	}
+}
+
+func mustJoin(t *testing.T, r *cluster.Ring, m cluster.Member) *cluster.Ring {
+	t.Helper()
+	next, err := r.WithJoin(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return next
+}
+
+// TestSupervisorCrashMidCommitTCP kills the supervisor between journaling
+// a commit and pushing it — the worst spot — and proves a fresh supervisor
+// over the same journal finishes the push, re-quarantines the moved
+// copies, and converges with nothing lost.
+func TestSupervisorCrashMidCommitTCP(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "supervisor.journal")
+	nodes, sup := startCluster(t, []string{"a", "b", "c"}, []string{"d"}, 2, Config{JournalPath: journal})
+	fl := dataFleet(t, sup)
+	model := fill(t, fl, 7)
+
+	tickUntil(t, sup, 3, "steady state", func(st Status) bool { return len(st.Down) == 0 })
+	if err := sup.BeginJoin(cluster.Member{ID: "d", Addr: nodes["d"].addr}); err != nil {
+		t.Fatal(err)
+	}
+	sup.failpoint = func(point string) bool { return point == "commit-push" }
+
+	// Drive until the failpoint fires. The tick that decides the commit
+	// journals it and then dies.
+	var crashed bool
+	for i := 0; i < 20; i++ {
+		if _, err := sup.Tick(); err != nil {
+			if !errors.Is(err, errCrashed) {
+				t.Fatal(err)
+			}
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		t.Fatal("failpoint never fired")
+	}
+
+	// The journal is in the push phase with the decided epoch and the
+	// moved set; no node has seen the new epoch yet.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := cluster.DecodeSupJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Phase != cluster.SupPush || j.Epoch != 3 || len(j.Pending) == 0 {
+		t.Fatalf("crash journal %+v", j)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		cli, err := netblock.Dial(nodes[id].addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := cli.Ping()
+		cli.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Epoch >= 3 {
+			t.Fatalf("node %s saw epoch %d before the journal's push completed", id, info.Epoch)
+		}
+	}
+	sup.Close()
+
+	// Recovery: a new supervisor over the same journal (no initial ring —
+	// the journal is authoritative) finishes the interrupted push.
+	var cfg2 Config
+	cfg2.JournalPath = journal
+	cfg2.Client = dialOpts()
+	cfg2.Detector.FailAfter = 2
+	cfg2.Sleep = func(time.Duration) {}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		cfg2.Nodes = append(cfg2.Nodes, nodes[id].node())
+	}
+	sup2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup2.Close()
+	st := sup2.Status()
+	if st.RecoveredPushes != 1 || st.Epoch != 3 || st.Phase != cluster.SupStable {
+		t.Fatalf("recovery status %+v", st)
+	}
+	if len(st.Quarantined) == 0 {
+		t.Fatal("recovered commit re-quarantined no moved copies")
+	}
+
+	// Catch-up repairs drain; the epoch lands everywhere; all data reads
+	// back on the new placement.
+	tickUntil(t, sup2, 12, "catch-up", func(st Status) bool {
+		return len(st.Quarantined) == 0
+	})
+	cli, err := netblock.Dial(nodes["d"].addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := cli.Ping()
+	cli.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 3 {
+		t.Fatalf("joiner advertises epoch %d after recovery, want 3", info.Epoch)
+	}
+	fl2 := dataFleet(t, sup2)
+	got := make([]byte, int64(tRanges)*tRangeBytes)
+	if err := fl2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("post-recovery read diverges from model")
+	}
+}
+
+// TestSupervisorResumeMidTransition stops a supervisor with moves still
+// pending; its successor must resume the stream from the journal rather
+// than restart or abort it.
+func TestSupervisorResumeMidTransition(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "supervisor.journal")
+	nodes, sup := startCluster(t, []string{"a", "b", "c"}, []string{"d"}, 2, Config{
+		JournalPath:  journal,
+		StepsPerTick: 1, // one move per tick so the midpoint is reachable
+	})
+	fl := dataFleet(t, sup)
+	model := fill(t, fl, 11)
+
+	tickUntil(t, sup, 3, "steady state", func(st Status) bool { return len(st.Down) == 0 })
+	if err := sup.BeginJoin(cluster.Member{ID: "d", Addr: nodes["d"].addr}); err != nil {
+		t.Fatal(err)
+	}
+	total := sup.Status().Pending
+	if total < 2 {
+		t.Skipf("join yields %d moves; need 2+ for a midpoint", total)
+	}
+	st := tickUntil(t, sup, 5, "partial stream", func(st Status) bool {
+		return st.Pending > 0 && st.Pending < total
+	})
+	sup.Close()
+
+	var cfg2 Config
+	cfg2.JournalPath = journal
+	cfg2.Client = dialOpts()
+	cfg2.Detector.FailAfter = 2
+	cfg2.Sleep = func(time.Duration) {}
+	for _, id := range []string{"a", "b", "c", "d"} {
+		cfg2.Nodes = append(cfg2.Nodes, nodes[id].node())
+	}
+	sup2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup2.Close()
+	rst := sup2.Status()
+	if rst.Resumes != 1 || rst.Phase != cluster.SupTransition || rst.Pending != st.Pending {
+		t.Fatalf("resume status %+v (want pending %d)", rst, st.Pending)
+	}
+
+	tickUntil(t, sup2, 20, "resumed commit", func(st Status) bool {
+		return st.Phase == cluster.SupStable && st.Epoch == 3 && len(st.Quarantined) == 0
+	})
+	fl2 := dataFleet(t, sup2)
+	got := make([]byte, int64(tRanges)*tRangeBytes)
+	if err := fl2.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("post-resume read diverges from model")
+	}
+}
+
+// TestChainForwardFailureRepair: a down-chain replica dies mid-stream of
+// writes. The head keeps acking, the supervisor quarantines the dead tail,
+// and once it returns — stale, not wiped — hash-verified repair converges
+// it onto the bytes written while it was away.
+func TestChainForwardFailureRepair(t *testing.T) {
+	nodes, sup := startCluster(t, []string{"a", "b", "c"}, nil, 2, Config{})
+	fl := dataFleet(t, sup)
+	model := fill(t, fl, 23)
+
+	tickUntil(t, sup, 3, "steady state", func(st Status) bool { return len(st.Down) == 0 })
+
+	// Pick a range and kill its tail (the down-chain replica).
+	const rng = 0
+	owners := sup.Ring().Owners(rng)
+	if len(owners) != 2 {
+		t.Fatalf("owners %v", owners)
+	}
+	head, tail := owners[0], owners[1]
+	nodes[tail].kill(t)
+
+	// Writes to the head still ack — forward failure is tolerated, not
+	// propagated to the client.
+	patch := bytes.Repeat([]byte{0xEE}, 512)
+	off := int64(rng) * tRangeBytes
+	if err := fl.WriteAt(patch, off); err != nil {
+		t.Fatalf("write with dead tail: %v", err)
+	}
+	copy(model[off:], patch)
+	if !bytes.Equal(backendRange(t, nodes[head], rng)[:512], patch) {
+		t.Fatal("head missed the acked write")
+	}
+
+	// The supervisor notices the dead tail and quarantines its copies.
+	st := tickUntil(t, sup, 6, "tail detection", func(st Status) bool {
+		return contains(st.Down, tail)
+	})
+	quarantined := false
+	for _, k := range st.Quarantined {
+		if k.Node == tail && k.Range == rng {
+			quarantined = true
+		}
+	}
+	if !quarantined {
+		t.Fatalf("tail %s range %d not quarantined: %+v", tail, rng, st.Quarantined)
+	}
+
+	// The tail returns with its stale pre-kill copy. Repair must detect
+	// the divergence by hash and overwrite it with the acked bytes.
+	nodes[tail].restart(t, sup.Ring(), false)
+	tickUntil(t, sup, 12, "tail repair", func(st Status) bool {
+		return len(st.Quarantined) == 0 && !contains(st.Down, tail)
+	})
+	if !bytes.Equal(backendRange(t, nodes[tail], rng), rangeSlice(model, rng)) {
+		t.Fatal("tail not converged onto acked writes after repair")
+	}
+	// Whole-volume readback still matches the model.
+	got := make([]byte, int64(tRanges)*tRangeBytes)
+	if err := fl.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("post-repair read diverges from model")
+	}
+}
+
+// TestSupervisorDrainingIsNotFailure: a member announcing a planned drain
+// must be classified as departing — no Down, no quarantine, no repair
+// churn — and reclassified healthy when it returns.
+func TestSupervisorDrainingIsNotFailure(t *testing.T) {
+	nodes, sup := startCluster(t, []string{"a", "b", "c"}, nil, 2, Config{})
+	tickUntil(t, sup, 3, "steady state", func(st Status) bool { return len(st.Down) == 0 })
+
+	// b deregisters the way a SIGTERM'd netblockd does, then goes away.
+	nodes["b"].srv.BeginDrain()
+	st := tickUntil(t, sup, 4, "departing", func(st Status) bool {
+		return contains(st.Departing, "b")
+	})
+	if contains(st.Down, "b") || len(st.Quarantined) != 0 {
+		t.Fatalf("draining member treated as failed: %+v", st)
+	}
+	nodes["b"].kill(t)
+
+	// Silence after a drain announcement is a scheduled departure: many
+	// ticks past FailAfter, still no quarantine.
+	for i := 0; i < 5; i++ {
+		var err error
+		if st, err = sup.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if contains(st.Down, "b") || len(st.Quarantined) != 0 {
+		t.Fatalf("departed member quarantined: %+v", st)
+	}
+
+	// The planned restart completes; b pings clean and resumes as a
+	// healthy member, no repair cycle triggered.
+	nodes["b"].restart(t, sup.Ring(), false)
+	st = tickUntil(t, sup, 6, "rejoin", func(st Status) bool {
+		return !contains(st.Departing, "b") && !contains(st.Down, "b")
+	})
+	if len(st.Quarantined) != 0 {
+		t.Fatalf("planned restart triggered repairs: %+v", st)
+	}
+}
+
+// TestSupervisorAbortsUnresumableTransition: a journaled transition whose
+// target placement names a node nobody registered cannot be resumed; the
+// recovering supervisor must abort it at a fresh epoch, not guess.
+func TestSupervisorAbortsUnresumableTransition(t *testing.T) {
+	nodes, sup := startCluster(t, []string{"a", "b", "c"}, []string{"d"}, 2, Config{})
+	journal := sup.cfg.JournalPath
+	tickUntil(t, sup, 3, "steady state", func(st Status) bool { return len(st.Down) == 0 })
+	if err := sup.BeginJoin(cluster.Member{ID: "d", Addr: nodes["d"].addr}); err != nil {
+		t.Fatal(err)
+	}
+	sup.Close()
+
+	// The successor doesn't know d (its registration was lost with the old
+	// supervisor's config).
+	var cfg2 Config
+	cfg2.JournalPath = journal
+	cfg2.Client = dialOpts()
+	cfg2.Detector.FailAfter = 2
+	cfg2.Sleep = func(time.Duration) {}
+	for _, id := range []string{"a", "b", "c"} {
+		cfg2.Nodes = append(cfg2.Nodes, nodes[id].node())
+	}
+	sup2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup2.Close()
+	st := sup2.Status()
+	if st.Aborts != 1 || st.Phase != cluster.SupStable || st.Pending != 0 {
+		t.Fatalf("recovery status %+v", st)
+	}
+	if st.Epoch != 3 {
+		t.Fatalf("abort epoch %d, want fresh epoch 3", st.Epoch)
+	}
+	if _, ok := sup2.Ring().Member("d"); ok {
+		t.Fatal("aborted join left d in the placement")
+	}
+}

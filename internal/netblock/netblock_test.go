@@ -212,6 +212,38 @@ func TestPingReportsDraining(t *testing.T) {
 	}
 }
 
+func TestBeginDrainKeepsServingAndRefusesEpochs(t *testing.T) {
+	// BeginDrain is the planned-shutdown announcement: the server must
+	// keep answering (clients finish their work, supervisors observe the
+	// flag) while refusing routing-epoch updates — a deregistered member
+	// must not advertise a placement it will never serve.
+	srv, cli := startPair(t, 1<<20)
+	srv.SetEpoch(3)
+	srv.BeginDrain()
+	if !srv.Draining() {
+		t.Fatal("Draining() false after BeginDrain")
+	}
+	info, err := cli.Ping()
+	if err != nil {
+		t.Fatalf("ping during planned drain: %v", err)
+	}
+	if !info.Draining || info.Epoch != 3 {
+		t.Fatalf("ping info %+v, want draining at epoch 3", info)
+	}
+	srv.SetEpoch(9)
+	if got := srv.Epoch(); got != 3 {
+		t.Fatalf("draining server accepted epoch update: %d", got)
+	}
+	// Data service continues through the drain window.
+	if _, err := cli.WriteAt([]byte("still served"), 0); err != nil {
+		t.Fatalf("write during planned drain: %v", err)
+	}
+	p := make([]byte, 12)
+	if _, err := cli.ReadAt(p, 0); err != nil || string(p) != "still served" {
+		t.Fatalf("read during planned drain: %q, %v", p, err)
+	}
+}
+
 func TestOpStatsCountServiceAndErrors(t *testing.T) {
 	srv, cli := startPair(t, 4096)
 	if _, err := cli.WriteAt([]byte("abcd"), 0); err != nil {

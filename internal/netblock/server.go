@@ -82,6 +82,12 @@ type Server struct {
 	// it zero.
 	epoch atomic.Uint64
 
+	// drainFlag marks a planned shutdown announced by BeginDrain: ping
+	// responses advertise it and SetEpoch refuses updates, while the
+	// listener keeps serving so supervisors and clients observe the
+	// handoff before the process exits.
+	drainFlag atomic.Bool
+
 	// ops tallies per-op counts, errors, and wall-clock service latency,
 	// indexed by op code. The failure detector reads these through OpStats;
 	// the array is sized one past the largest op so hostile codes still
@@ -137,11 +143,31 @@ func (s *Server) Size() int64 { return s.backend.Size() }
 
 // SetEpoch sets the ring epoch advertised in ping responses. The cluster
 // layer bumps it on membership changes; a client holding a routing table
-// older than the epoch it observes refetches before retrying.
-func (s *Server) SetEpoch(e uint64) { s.epoch.Store(e) }
+// older than the epoch it observes refetches before retrying. A draining
+// server (BeginDrain or Close) drops the update: it has deregistered from
+// the control plane, and accepting a new epoch mid-drain would advertise a
+// placement it will never serve.
+func (s *Server) SetEpoch(e uint64) {
+	if s.Draining() {
+		return
+	}
+	s.epoch.Store(e)
+}
 
 // Epoch reports the advertised ring epoch.
 func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// BeginDrain announces a planned shutdown without stopping service: ping
+// responses start advertising the drain flag and SetEpoch refuses new
+// epochs, but connections keep being accepted and served. A supervisor
+// that observes the flag reclassifies the member as departing instead of
+// fail-stop, so a planned restart never triggers quarantine and repair.
+// Close completes the shutdown; BeginDrain is idempotent and optional.
+func (s *Server) BeginDrain() { s.drainFlag.Store(true) }
+
+// Draining reports whether the server has announced a planned shutdown
+// (BeginDrain) or is already closing (Close).
+func (s *Server) Draining() bool { return s.drainFlag.Load() || s.draining() }
 
 // opCounter is one op's running tally. Fields are atomics so per-connection
 // goroutines record without a shared lock; Max uses a CAS loop.
@@ -430,7 +456,7 @@ func (s *Server) execute(req *request) (status uint8, payload []byte) {
 		var buf [17]byte
 		binary.BigEndian.PutUint64(buf[0:], uint64(s.backend.Size()))
 		binary.BigEndian.PutUint64(buf[8:], s.epoch.Load())
-		if s.draining() {
+		if s.Draining() {
 			buf[16] |= pingDraining
 		}
 		return statusOK, buf[:]
